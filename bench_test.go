@@ -1,0 +1,379 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index), plus ablation benches
+// for the design choices the reproduction calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each bench reports, besides time, the quantity the paper's artifact
+// measures (races found, rows regenerated), via b.ReportMetric.
+package yashme_test
+
+import (
+	"testing"
+
+	"yashme"
+	"yashme/internal/compiler"
+	"yashme/internal/engine"
+	"yashme/internal/progs/cceh"
+	"yashme/internal/tables"
+	"yashme/internal/xfd"
+)
+
+// figure1 is the paper's Figure 1 program (E1).
+func figure1() yashme.Program {
+	var val yashme.Addr
+	return yashme.Program{
+		Name: "figure1",
+		Setup: func(h *yashme.Heap) {
+			val = h.AllocStruct("pmobj", yashme.Layout{{Name: "val", Size: 8}}).F("val")
+		},
+		Workers: []func(*yashme.Thread){func(t *yashme.Thread) {
+			t.Store64(val, 0x1234567812345678)
+			t.CLFlush(val)
+		}},
+		PostCrash: func(t *yashme.Thread) { t.Load64(val) },
+	}
+}
+
+// BenchmarkFigure1 (E1): detect the Figure 1 persistency race by model
+// checking the example program.
+func BenchmarkFigure1(b *testing.B) {
+	races := 0
+	for i := 0; i < b.N; i++ {
+		res := yashme.Run(figure1, yashme.Options{Mode: yashme.ModelCheck, Prefix: true})
+		races = res.Report.Count()
+	}
+	b.ReportMetric(float64(races), "races")
+}
+
+// BenchmarkTable2a (E2): regenerate the compiler store-optimization study.
+func BenchmarkTable2a(b *testing.B) {
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		rows = len(compiler.Table2a())
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkTable2b (E3): regenerate the source-vs-assembly memop counts.
+func BenchmarkTable2b(b *testing.B) {
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		rows = len(compiler.Table2b())
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkTable3 (E4): model-check the six PM indexes; 19 races.
+func BenchmarkTable3(b *testing.B) {
+	races := 0
+	for i := 0; i < b.N; i++ {
+		races = len(tables.Table3())
+	}
+	b.ReportMetric(float64(races), "races")
+}
+
+// BenchmarkTable4 (E5): random-mode sweep of PMDK, Memcached, Redis;
+// 5 races.
+func BenchmarkTable4(b *testing.B) {
+	races := 0
+	for i := 0; i < b.N; i++ {
+		races = len(tables.Table4())
+	}
+	b.ReportMetric(float64(races), "races")
+}
+
+// BenchmarkTable5 (E6): the full prefix-vs-baseline single-execution
+// comparison, per benchmark as sub-benchmarks. The prefix/baseline race
+// counts are the paper's Table 5 columns; the Jaaru variant is the
+// detector-off infrastructure time.
+func BenchmarkTable5(b *testing.B) {
+	for _, spec := range tables.AllSpecs() {
+		spec := spec
+		b.Run(spec.Name+"/yashme-prefix", func(b *testing.B) {
+			races := 0
+			for i := 0; i < b.N; i++ {
+				res := engine.Run(spec.Make, engine.Options{
+					Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1})
+				races = res.Report.Count()
+			}
+			b.ReportMetric(float64(races), "races")
+		})
+		b.Run(spec.Name+"/yashme-baseline", func(b *testing.B) {
+			races := 0
+			for i := 0; i < b.N; i++ {
+				res := engine.Run(spec.Make, engine.Options{
+					Mode: engine.RandomMode, Prefix: false, Seed: spec.Table5Seed, Executions: 1})
+				races = res.Report.Count()
+			}
+			b.ReportMetric(float64(races), "races")
+		})
+		b.Run(spec.Name+"/jaaru", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				engine.Run(spec.Make, engine.Options{
+					Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed,
+					Executions: 1, DetectorOff: true})
+			}
+		})
+	}
+}
+
+// BenchmarkBenign (E7): the §7.5 benign checksum-race inventory; 10 races.
+func BenchmarkBenign(b *testing.B) {
+	races := 0
+	for i := 0; i < b.N; i++ {
+		races = len(tables.BenignRaces())
+	}
+	b.ReportMetric(float64(races), "benign-races")
+}
+
+// BenchmarkPrefixExpansion (E8): the §4.2 multithreaded scenario where no
+// crash point exposes the race but the prefix analysis derives it.
+func BenchmarkPrefixExpansion(b *testing.B) {
+	mk := func() yashme.Program {
+		var z, f yashme.Addr
+		return yashme.Program{
+			Name: "mt-prefix",
+			Setup: func(h *yashme.Heap) {
+				z = h.AllocStruct("zz", yashme.Layout{{Name: "z", Size: 8}}).F("z")
+				f = h.AllocStruct("ff", yashme.Layout{{Name: "f", Size: 8}}).F("f")
+			},
+			Workers: []func(*yashme.Thread){
+				func(t *yashme.Thread) { t.Store64(z, 7); t.CLFlush(z) },
+				func(t *yashme.Thread) { t.StoreRelease64(f, 1) },
+			},
+			PostCrash: func(t *yashme.Thread) {
+				t.LoadAcquire64(f)
+				t.Load64(z)
+			},
+		}
+	}
+	races := 0
+	for i := 0; i < b.N; i++ {
+		res := yashme.Run(mk, yashme.Options{Mode: yashme.ModelCheck, Prefix: true})
+		races = res.Report.Count()
+	}
+	b.ReportMetric(float64(races), "races")
+}
+
+// BenchmarkAblationPrefix quantifies the prefix expansion's value on the
+// whole Table 5 suite: total races found in single executions with the
+// expansion on vs off (the paper's 15-vs-3 / "5x" result).
+func BenchmarkAblationPrefix(b *testing.B) {
+	for _, prefix := range []bool{true, false} {
+		name := "prefix-on"
+		if !prefix {
+			name = "prefix-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, spec := range tables.AllSpecs() {
+					res := engine.Run(spec.Make, engine.Options{
+						Mode: engine.RandomMode, Prefix: prefix, Seed: spec.Table5Seed, Executions: 1})
+					total += res.Report.Count()
+				}
+			}
+			b.ReportMetric(float64(total), "races")
+		})
+	}
+}
+
+// BenchmarkAblationDetectorOverhead measures the cost of race checking
+// itself: the same CCEH model-checking run with the detector on vs off
+// (the Yashme-vs-Jaaru columns of Table 5, as a controlled pair).
+func BenchmarkAblationDetectorOverhead(b *testing.B) {
+	spec := tables.IndexSpecs()[0] // CCEH
+	for _, off := range []bool{false, true} {
+		name := "detector-on"
+		if off {
+			name = "detector-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				engine.Run(spec.Make, engine.Options{
+					Mode: engine.ModelCheck, Prefix: true, DetectorOff: off})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPersistPolicy measures how the persisted-image policy
+// affects exploration cost and detection on FAST_FAIR.
+func BenchmarkAblationPersistPolicy(b *testing.B) {
+	spec := tables.IndexSpecs()[1] // Fast_Fair
+	policies := map[string][]engine.PersistPolicy{
+		"latest":         {engine.PersistLatest},
+		"minimal":        {engine.PersistMinimal},
+		"latest+minimal": {engine.PersistLatest, engine.PersistMinimal},
+	}
+	for name, pp := range policies {
+		pp := pp
+		b.Run(name, func(b *testing.B) {
+			races := 0
+			for i := 0; i < b.N; i++ {
+				res := engine.Run(spec.Make, engine.Options{
+					Mode: engine.ModelCheck, Prefix: true, PersistPolicies: pp})
+				races = res.Report.Count()
+			}
+			b.ReportMetric(float64(races), "races")
+		})
+	}
+}
+
+// BenchmarkAblationModeComparison compares model checking against random
+// exploration budgets on the same program (P-Masstree).
+func BenchmarkAblationModeComparison(b *testing.B) {
+	spec := tables.IndexSpecs()[5] // P-Masstree
+	b.Run("model-check", func(b *testing.B) {
+		races := 0
+		for i := 0; i < b.N; i++ {
+			res := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true})
+			races = res.Report.Count()
+		}
+		b.ReportMetric(float64(races), "races")
+	})
+	for _, execs := range []int{1, 10, 40} {
+		execs := execs
+		b.Run("random-"+itoa(execs), func(b *testing.B) {
+			races := 0
+			for i := 0; i < b.N; i++ {
+				res := engine.Run(spec.Make, engine.Options{
+					Mode: engine.RandomMode, Prefix: true, Seed: 1, Executions: execs})
+				races = res.Report.Count()
+			}
+			b.ReportMetric(float64(races), "races")
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkRecoveryCrashes (multi-crash exploration, §6 exec stack): cost
+// of exploring second crashes inside the recovery procedure.
+func BenchmarkRecoveryCrashes(b *testing.B) {
+	spec := tables.FrameworkSpecs()[4] // hashmap-tx
+	for i := 0; i < b.N; i++ {
+		engine.Run(spec.Make, engine.Options{
+			Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: 10, RecoveryCrashes: 3})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// memory operations per second through the full stack (scheduler, TSO
+// machine, detector) on a flush-heavy single-thread workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	mk := func() yashme.Program {
+		var base yashme.Addr
+		return yashme.Program{
+			Name: "throughput",
+			Setup: func(h *yashme.Heap) {
+				base = h.AllocStruct("o", yashme.Layout{
+					{Name: "a", Size: 8}, {Name: "b", Size: 8},
+					{Name: "c", Size: 8}, {Name: "d", Size: 8},
+				}).F("a")
+			},
+			Workers: []func(*yashme.Thread){func(t *yashme.Thread) {
+				for i := 0; i < 250; i++ {
+					t.Store64(base+yashme.Addr(8*(i%4)), uint64(i))
+					t.Load64(base)
+					t.CLWB(base)
+					t.SFence()
+				}
+			}},
+			PostCrash: func(t *yashme.Thread) { t.Load64(base) },
+		}
+	}
+	b.ReportAllocs()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		res := yashme.RunOnce(mk, yashme.Options{Prefix: true}, 0, yashme.PersistLatest, 1)
+		ops = res.Stats.Stores + res.Stats.Loads + res.Stats.Flushes + res.Stats.Fences
+	}
+	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "simops/s")
+}
+
+// BenchmarkAblationReadExploration measures the cost and yield of
+// Jaaru-style read-choice exploration on CCEH.
+func BenchmarkAblationReadExploration(b *testing.B) {
+	spec := tables.IndexSpecs()[0] // CCEH
+	for _, explore := range []bool{false, true} {
+		name := "policies-only"
+		if explore {
+			name = "explore-reads"
+		}
+		explore := explore
+		b.Run(name, func(b *testing.B) {
+			races, execs := 0, 0
+			for i := 0; i < b.N; i++ {
+				res := engine.Run(spec.Make, engine.Options{
+					Mode: engine.ModelCheck, Prefix: true, ExploreReads: explore})
+				races = res.Report.Count()
+				execs = res.ExecutionsRun
+			}
+			b.ReportMetric(float64(races), "races")
+			b.ReportMetric(float64(execs), "executions")
+		})
+	}
+}
+
+// BenchmarkAblationCandidateWidth quantifies checking ALL candidate stores
+// per load against only the newest ones (the design choice DESIGN.md calls
+// out), on Fast_Fair.
+func BenchmarkAblationCandidateWidth(b *testing.B) {
+	spec := tables.IndexSpecs()[1] // Fast_Fair
+	for _, limit := range []int{0, 1, 2} {
+		name := "all"
+		if limit > 0 {
+			name = "newest-" + itoa(limit)
+		}
+		limit := limit
+		b.Run(name, func(b *testing.B) {
+			races := 0
+			for i := 0; i < b.N; i++ {
+				res := engine.Run(spec.Make, engine.Options{
+					Mode: engine.ModelCheck, Prefix: true, CandidateLimit: limit})
+				races = res.Report.Count()
+			}
+			b.ReportMetric(float64(races), "races")
+		})
+	}
+}
+
+// BenchmarkRelatedWorkComparison runs the cross-failure (XFDetector-style)
+// baseline against Yashme on the same CCEH workload — the executable
+// version of the paper's §1/§8 claim that prior tools cannot detect
+// persistency races.
+func BenchmarkRelatedWorkComparison(b *testing.B) {
+	b.Run("yashme", func(b *testing.B) {
+		races := 0
+		for i := 0; i < b.N; i++ {
+			res := yashme.Run(ccehProg(), yashme.Options{Mode: yashme.ModelCheck, Prefix: true})
+			races = res.Report.Count()
+		}
+		b.ReportMetric(float64(races), "persistency-races")
+	})
+	b.Run("cross-failure", func(b *testing.B) {
+		races := 0
+		for i := 0; i < b.N; i++ {
+			races = xfd.Run(ccehProg()).Count()
+		}
+		b.ReportMetric(float64(races), "cross-failure-races")
+		b.ReportMetric(0, "persistency-races") // structurally zero
+	})
+}
+
+func ccehProg() func() yashme.Program { return cceh.New(4, nil) }

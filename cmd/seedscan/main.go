@@ -1,0 +1,23 @@
+// Command seedscan is a development helper: it scans scheduler seeds for
+// each Table 5 benchmark and prints the single-execution prefix/baseline
+// race counts per seed, used to pick the seeds recorded in internal/tables.
+package main
+
+import (
+	"fmt"
+
+	"yashme/internal/engine"
+	"yashme/internal/tables"
+)
+
+func main() {
+	for _, spec := range tables.AllSpecs() {
+		fmt.Printf("%-15s (paper %d/%d): ", spec.Name, spec.PaperPrefix, spec.PaperBaseline)
+		for seed := int64(1); seed <= 20; seed++ {
+			p := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: seed, Executions: 1})
+			b := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: false, Seed: seed, Executions: 1})
+			fmt.Printf("s%d=%d/%d ", seed, p.Report.Count(), b.Report.Count())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,97 @@
+// Command yashme-tables regenerates the paper's evaluation artifacts from
+// the live system: Table 2a/2b (compiler store-optimization study), Table 3
+// (RECIPE/CCEH/FAST_FAIR races), Table 4 (PMDK/Memcached/Redis races),
+// Table 5 (prefix vs. baseline on single executions plus Yashme-vs-Jaaru
+// runtimes) and the §7.5 benign-race inventory.
+//
+// Usage:
+//
+//	yashme-tables              # everything
+//	yashme-tables -table 5     # one table: 2a, 2b, 3, 4, 5, benign
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"yashme/internal/tables"
+)
+
+func main() {
+	which := flag.String("table", "all", "table to print: 2a | 2b | 3 | 4 | 5 | window | bugs | benign | all")
+	format := flag.String("format", "text", "output format: text | markdown (2b, 3, 4 and 5 only)")
+	flag.Parse()
+	md := *format == "markdown"
+
+	emit := func(name string) bool { return *which == "all" || *which == name }
+	printed := false
+
+	if emit("2a") {
+		fmt.Println("=== Table 2a: compiler store optimizations ===")
+		fmt.Print(tables.Table2aText())
+		fmt.Println()
+		printed = true
+	}
+	if emit("2b") {
+		fmt.Println("=== Table 2b: memory operations, source vs generated code (clang -O3, x86-64 model) ===")
+		if md {
+			fmt.Print(tables.Table2bMarkdown())
+		} else {
+			fmt.Print(tables.Table2bText())
+		}
+		fmt.Println()
+		printed = true
+	}
+	if emit("3") {
+		fmt.Println("=== Table 3: races in CCEH, FAST_FAIR and RECIPE (model-checking mode) ===")
+		if md {
+			fmt.Print(tables.RaceRowsMarkdown(tables.Table3()))
+		} else {
+			fmt.Print(tables.RaceRowsText(tables.Table3()))
+		}
+		fmt.Println()
+		printed = true
+	}
+	if emit("4") {
+		fmt.Println("=== Table 4: races in PMDK, Redis and Memcached (random mode) ===")
+		if md {
+			fmt.Print(tables.RaceRowsMarkdown(tables.Table4()))
+		} else {
+			fmt.Print(tables.RaceRowsText(tables.Table4()))
+		}
+		fmt.Println()
+		printed = true
+	}
+	if emit("5") {
+		fmt.Println("=== Table 5: prefix vs baseline, single execution; Yashme vs Jaaru time ===")
+		if md {
+			fmt.Print(tables.Table5Markdown(tables.Table5()))
+		} else {
+			fmt.Print(tables.Table5Text(tables.Table5()))
+		}
+		fmt.Println()
+		printed = true
+	}
+	if emit("window") {
+		fmt.Println("=== E9: detection-window histogram (Figures 5b/6, quantified) ===")
+		fmt.Print(tables.WindowText(tables.IndexSpecs()[0])) // CCEH
+		fmt.Println()
+		printed = true
+	}
+	if emit("bugs") {
+		fmt.Println("=== Artifact appendix (Figs. 11-12): bug index with implementation sites ===")
+		fmt.Print(tables.BugIndexText())
+		fmt.Println()
+		printed = true
+	}
+	if emit("benign") {
+		fmt.Println("=== §7.5: benign checksum-guarded races ===")
+		fmt.Print(tables.BenignText(tables.BenignRaces()))
+		printed = true
+	}
+	if !printed {
+		fmt.Fprintf(os.Stderr, "yashme-tables: unknown table %q\n", *which)
+		os.Exit(2)
+	}
+}

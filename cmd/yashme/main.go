@@ -1,0 +1,137 @@
+// Command yashme runs the persistency-race detector over any of the
+// reproduced benchmarks, mirroring the paper's tooling: model-checking mode
+// injects a crash before every flush/fence point; random mode explores
+// seeded random executions with random crash points (§4, §7.1).
+//
+// Usage:
+//
+//	yashme -list
+//	yashme -bench CCEH
+//	yashme -bench Memcached -mode random -executions 40 -seed 7
+//	yashme -bench Fast_Fair -prefix=false        # Table 5 baseline
+//	yashme -bench Redis -benign                  # include benign races
+//	yashme -file prog.ym -witness                # check a script (internal/script format)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"yashme/internal/engine"
+	"yashme/internal/script"
+	"yashme/internal/tables"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available benchmarks and exit")
+		bench      = flag.String("bench", "", "benchmark to check (see -list)")
+		file       = flag.String("file", "", "check a user-written PM program script instead of a benchmark (see internal/script)")
+		mode       = flag.String("mode", "", "model | random (default: the paper's mode for the benchmark)")
+		prefix     = flag.Bool("prefix", true, "enable prefix-based detection-window expansion (§4.2)")
+		seed       = flag.Int64("seed", 1, "scheduler / crash-point seed")
+		executions = flag.Int("executions", 20, "random-mode executions")
+		maxPoints  = flag.Int("max-crash-points", 0, "cap model-check crash points (0 = all)")
+		benign     = flag.Bool("benign", false, "also print benign (checksum-guarded) races")
+		jaaru      = flag.Bool("jaaru", false, "detector off: run the bare checking infrastructure")
+		witness    = flag.Bool("witness", false, "record executions and print a witness per race (§5.1)")
+		eadr       = flag.Bool("eadr", false, "detect only races possible on eADR platforms (§7.5)")
+		suppress   = flag.String("suppress", "", "comma-separated field labels whose races are annotated away (§7.5)")
+		schedules  = flag.Int("schedules", 1, "model-check: number of distinct thread schedules to explore")
+		reads      = flag.Bool("explore-reads", false, "model-check: explore per-line persist-point read choices (Jaaru-style)")
+	)
+	flag.Parse()
+
+	specs := tables.AllSpecs()
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
+			os.Exit(2)
+		}
+		parsed, err := script.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
+			os.Exit(2)
+		}
+		specs = []tables.Spec{{Name: parsed.Name, Make: parsed.MakeProgram(), ModelCheck: true}}
+		*bench = parsed.Name
+	}
+	if *list {
+		fmt.Println("available benchmarks:")
+		for _, s := range specs {
+			m := "random"
+			if s.ModelCheck {
+				m = "model"
+			}
+			fmt.Printf("  %-15s (paper mode: %s)\n", s.Name, m)
+		}
+		return
+	}
+	var spec *tables.Spec
+	for i := range specs {
+		if specs[i].Name == *bench {
+			spec = &specs[i]
+			break
+		}
+	}
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "yashme: unknown benchmark %q (use -list)\n", *bench)
+		os.Exit(2)
+	}
+
+	opts := engine.Options{
+		Prefix:         *prefix,
+		Seed:           *seed,
+		Executions:     *executions,
+		MaxCrashPoints: *maxPoints,
+		DetectorOff:    *jaaru,
+		Trace:          *witness,
+		EADR:           *eadr,
+		Schedules:      *schedules,
+		ExploreReads:   *reads,
+	}
+	if *suppress != "" {
+		opts.Suppress = strings.Split(*suppress, ",")
+	}
+	switch {
+	case *mode == "model" || (*mode == "" && spec.ModelCheck):
+		opts.Mode = engine.ModelCheck
+	case *mode == "random" || *mode == "":
+		opts.Mode = engine.RandomMode
+	default:
+		fmt.Fprintf(os.Stderr, "yashme: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	res := engine.Run(spec.Make, opts)
+	elapsed := time.Since(start)
+
+	fmt.Printf("benchmark %s, mode %s, prefix=%v: %d executions, %d crash points, %s\n",
+		spec.Name, opts.Mode, *prefix, res.ExecutionsRun, res.CrashPoints, elapsed.Round(time.Microsecond))
+	fmt.Printf("ops: %d stores, %d loads, %d flushes, %d fences, %d RMWs\n",
+		res.Stats.Stores, res.Stats.Loads, res.Stats.Flushes, res.Stats.Fences, res.Stats.RMWs)
+	races := res.Report.Races()
+	fmt.Printf("persistency races: %d\n", len(races))
+	for _, r := range races {
+		fmt.Printf("  %s\n", r)
+		if *witness && r.Witness != "" {
+			for _, line := range strings.Split(strings.TrimRight(r.Witness, "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+	}
+	if *benign {
+		fmt.Printf("benign (checksum-guarded) races: %d\n", res.Report.BenignCount())
+		for _, r := range res.Report.Benign() {
+			fmt.Printf("  %s\n", r)
+		}
+	}
+	if len(races) > 0 {
+		os.Exit(1)
+	}
+}

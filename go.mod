@@ -1,0 +1,3 @@
+module yashme
+
+go 1.22

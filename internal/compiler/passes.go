@@ -1,0 +1,239 @@
+package compiler
+
+// Optimization passes. Each pass is a pure Routine → Routine rewrite; a
+// Pipeline composes the passes a given (compiler, architecture) pair
+// applies, per the paper's Table 2a.
+
+// ZeroRunThreshold is the minimum byte length of a contiguous zero-store
+// run before the optimizer substitutes a memset call.
+const ZeroRunThreshold = 16
+
+// CopyRunThreshold is the minimum byte length of a contiguous copy run
+// before the optimizer substitutes a memcpy/memmove call.
+const CopyRunThreshold = 16
+
+// Pass is one optimization.
+type Pass interface {
+	Name() string
+	Apply(Routine) Routine
+}
+
+// SplitWideStores models gcc's ARM64 lowering of 64-bit store-immediates
+// into a NON-ATOMIC pair of 32-bit store-immediates (Table 2a row 1, and
+// the code generation behind Figure 1). Atomic stores are preserved.
+type SplitWideStores struct{}
+
+// Name implements Pass.
+func (SplitWideStores) Name() string { return "split-wide-stores" }
+
+// Apply implements Pass.
+func (SplitWideStores) Apply(r Routine) Routine {
+	out := Routine{Name: r.Name}
+	for _, op := range r.Ops {
+		s, ok := op.(Store)
+		if !ok || s.Atomic || s.Size != 8 || s.CopySrc >= 0 {
+			out.Ops = append(out.Ops, op)
+			continue
+		}
+		lo, hi := s, s
+		lo.Size, lo.Val = 4, s.Val&0xFFFFFFFF
+		lo.Zero = lo.Val == 0
+		hi.Size, hi.Offset, hi.Val = 4, s.Offset+4, s.Val>>32
+		hi.Zero = hi.Val == 0
+		out.Ops = append(out.Ops, lo, hi)
+	}
+	return out
+}
+
+// CoalesceZeroRuns replaces runs of contiguous non-atomic zero stores of at
+// least ZeroRunThreshold bytes with a memset call (Table 2a rows 2 and 4).
+type CoalesceZeroRuns struct{}
+
+// Name implements Pass.
+func (CoalesceZeroRuns) Name() string { return "coalesce-zero-runs" }
+
+// Apply implements Pass.
+func (CoalesceZeroRuns) Apply(r Routine) Routine {
+	return coalesceRuns(r,
+		func(s Store) bool { return s.Zero && !s.Atomic },
+		func(s Store, end int) bool { return s.Offset == end },
+		func(start, size int, _ Store) Call {
+			return Call{Fn: "memset", Offset: start, Src: -1, Size: size}
+		},
+		ZeroRunThreshold)
+}
+
+// CoalesceCopyRuns replaces runs of contiguous copy stores (contiguous in
+// both destination and source) of at least CopyRunThreshold bytes with a
+// memcpy or memmove call (Table 2a rows 3, 5 and 6). gcc prefers memmove on
+// x86-64; clang emits memcpy.
+type CoalesceCopyRuns struct {
+	// Fn is "memcpy" or "memmove".
+	Fn string
+}
+
+// Name implements Pass.
+func (p CoalesceCopyRuns) Name() string { return "coalesce-copy-runs(" + p.Fn + ")" }
+
+// Apply implements Pass.
+func (p CoalesceCopyRuns) Apply(r Routine) Routine {
+	srcEnd := 0
+	return coalesceRuns(r,
+		func(s Store) bool { return s.CopySrc >= 0 && !s.Atomic },
+		func(s Store, end int) bool {
+			ok := s.Offset == end && s.CopySrc == srcEnd
+			return ok
+		},
+		func(start, size int, first Store) Call {
+			return Call{Fn: p.Fn, Offset: start, Src: first.CopySrc, Size: size}
+		},
+		CopyRunThreshold,
+		func(s Store) { srcEnd = s.CopySrc + s.Size }, // track source contiguity
+	)
+}
+
+// coalesceRuns is the shared run detector: match selects candidate stores,
+// contig tests contiguity against the current run end, and build produces
+// the replacement call when the run reaches threshold bytes.
+func coalesceRuns(r Routine, match func(Store) bool, contig func(Store, int) bool,
+	build func(start, size int, first Store) Call, threshold int, onAccept ...func(Store)) Routine {
+
+	out := Routine{Name: r.Name}
+	var run []Store
+	runStart, runEnd := 0, 0
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		if runEnd-runStart >= threshold {
+			out.Ops = append(out.Ops, build(runStart, runEnd-runStart, run[0]))
+		} else {
+			for _, s := range run {
+				out.Ops = append(out.Ops, s)
+			}
+		}
+		run = nil
+	}
+	for _, op := range r.Ops {
+		s, ok := op.(Store)
+		if !ok || !match(s) {
+			flush()
+			out.Ops = append(out.Ops, op)
+			continue
+		}
+		if len(run) > 0 && !contig(s, runEnd) {
+			flush()
+		}
+		if len(run) == 0 {
+			runStart = s.Offset
+			runEnd = s.Offset
+		}
+		run = append(run, s)
+		runEnd = s.Offset + s.Size
+		for _, f := range onAccept {
+			f(s)
+		}
+	}
+	flush()
+	return out
+}
+
+// MergeAdjacentMemsets merges back-to-back memset calls over contiguous
+// ranges with the same fill byte into one call — the consolidation the
+// paper observed in P-ART, where clang turned 14 source-level memsets into
+// 3 (§3.2).
+type MergeAdjacentMemsets struct{}
+
+// Name implements Pass.
+func (MergeAdjacentMemsets) Name() string { return "merge-adjacent-memsets" }
+
+// Apply implements Pass.
+func (MergeAdjacentMemsets) Apply(r Routine) Routine {
+	out := Routine{Name: r.Name}
+	for _, op := range r.Ops {
+		c, ok := op.(Call)
+		if ok && c.Fn == "memset" && len(out.Ops) > 0 {
+			if prev, ok2 := out.Ops[len(out.Ops)-1].(Call); ok2 && prev.Fn == "memset" &&
+				prev.Val == c.Val && prev.Offset+prev.Size == c.Offset {
+				prev.Size += c.Size
+				out.Ops[len(out.Ops)-1] = prev
+				continue
+			}
+		}
+		out.Ops = append(out.Ops, op)
+	}
+	return out
+}
+
+// Pipeline is the ordered pass list one (compiler, arch) pair applies.
+type Pipeline struct {
+	Compiler Compiler
+	Arch     Arch
+	Passes   []Pass
+}
+
+// NewPipeline returns the pass pipeline for a compiler/architecture pair,
+// per Table 2a.
+func NewPipeline(c Compiler, a Arch) Pipeline {
+	p := Pipeline{Compiler: c, Arch: a}
+	copyFn := "memcpy"
+	if c == GCC {
+		copyFn = "memmove"
+	}
+	switch {
+	case a == ARM64 && c == GCC:
+		p.Passes = []Pass{SplitWideStores{}, CoalesceZeroRuns{}, CoalesceCopyRuns{Fn: copyFn}, MergeAdjacentMemsets{}}
+	case a == ARM64 && c == Clang:
+		p.Passes = []Pass{CoalesceZeroRuns{}, CoalesceCopyRuns{Fn: copyFn}, MergeAdjacentMemsets{}}
+	case a == X86_64 && c == Clang:
+		p.Passes = []Pass{CoalesceZeroRuns{}, CoalesceCopyRuns{Fn: copyFn}, MergeAdjacentMemsets{}}
+	default: // gcc on x86-64: only the assignment-run rewrite (Table 2a row 6)
+		p.Passes = []Pass{CoalesceCopyRuns{Fn: copyFn}}
+	}
+	return p
+}
+
+// Compile applies the pipeline to every routine of the program.
+func (p Pipeline) Compile(prog Program) Program {
+	out := Program{Name: prog.Name}
+	for _, r := range prog.Routines {
+		for _, pass := range p.Passes {
+			r = pass.Apply(r)
+		}
+		out.Routines = append(out.Routines, r)
+	}
+	return out
+}
+
+// InventStores models the second compiler hazard the paper documents
+// (§3.2, citing "Who's afraid of a big bad optimizing compiler?"): under
+// register pressure a compiler may legally invent a store to a location
+// the program is guaranteed to write anyway, stashing a temporary there.
+// The invented value is garbage from the program's perspective; a crash
+// between the invented store and the real one persists it. The pass
+// applies to non-atomic stores whose value the "compiler" wants to build
+// in place (modelled here as stores of composite values: the temporary is
+// the half-built value).
+type InventStores struct{}
+
+// Name implements Pass.
+func (InventStores) Name() string { return "invent-stores" }
+
+// Apply implements Pass.
+func (InventStores) Apply(r Routine) Routine {
+	out := Routine{Name: r.Name}
+	for _, op := range r.Ops {
+		s, ok := op.(Store)
+		if !ok || s.Atomic || s.CopySrc >= 0 || s.Zero || s.Size < 4 {
+			out.Ops = append(out.Ops, op)
+			continue
+		}
+		// The invented store: the destination is used as a scratch slot for
+		// the partially computed value before the real store lands.
+		scratch := s
+		scratch.Val = s.Val & 0xFFFF // the half-built temporary
+		scratch.Invented = true
+		out.Ops = append(out.Ops, scratch, s)
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+// Package core implements the Yashme persistency-race detection algorithm —
+// the paper's primary contribution (ASPLOS '22, §5–§6).
+//
+// A persistency race (Definition 5.1) is a load l in a post-crash execution
+// E' reading from a store s in a pre-crash execution E such that:
+//
+//  1. s is not atomic (so the compiler may tear it or invent stores);
+//  2. no atomic release store s' to s's cache line with s →hb s' was read by
+//     E' before it read s (cache coherence would otherwise guarantee s
+//     persisted completely);
+//  3. no clflush to s's cache line happens-after s (in the consistent
+//     prefix); and
+//  4. no clwb to s's cache line happens-after s followed in store-buffer
+//     order by a fence (in the consistent prefix).
+//
+// The detector maintains, per execution (paper §6):
+//
+//   - storemap: address → latest committed store;
+//   - flushmap: store → the first flush per thread that happens-after it
+//     (kept inline on each store record as Flushes);
+//   - lastflush: cache line → clock-vector lower bound for when the line was
+//     written back, raised when the post-crash execution reads from an
+//     atomic release store on the line;
+//   - CVpre: the clock vector describing the shortest pre-crash prefix E+
+//     consistent with everything the post-crash execution has observed
+//     (§4.2/§5.1). A flush only defeats a race report if it is inside E+;
+//     otherwise there exists a derivable pre-crash execution that stopped
+//     before the flush and still yields the same post-crash execution
+//     (Theorem 1).
+//
+// Disabling the prefix expansion (Config.Prefix = false) gives the paper's
+// baseline: a flush anywhere before the crash defeats the report. Table 5
+// compares the two.
+package core
+
+import (
+	"fmt"
+
+	"yashme/internal/pmm"
+	"yashme/internal/report"
+	"yashme/internal/tso"
+	"yashme/internal/vclock"
+)
+
+// FlushRef identifies one flush recorded for a store: the thread that
+// guaranteed persistence and the sequence number of the operation that made
+// it guaranteed (the clflush itself, or the fence completing a clwb).
+type FlushRef struct {
+	TID vclock.TID
+	Seq vclock.Seq
+}
+
+// StoreRecord is the detector's view of one committed store.
+type StoreRecord struct {
+	Addr    pmm.Addr
+	Size    int
+	Val     uint64
+	TID     vclock.TID
+	Seq     vclock.Seq
+	CV      vclock.VC
+	Atomic  bool
+	Release bool
+	// Flushes is flushmap(σs): the first flush per thread that
+	// happens-after this store (paper Figure 8, Evict_SB/Evict_FB).
+	Flushes []FlushRef
+	// Torn is set by the engine when a post-crash load actually observed
+	// this store as racing; used to synthesize torn values.
+	Torn bool
+}
+
+// Execution is the per-execution detector state. Executions form a stack
+// (paper §6, exec): a crash during recovery pushes a new execution whose
+// loads may read from any earlier one.
+type Execution struct {
+	ID int
+
+	// storemap: latest committed store per address.
+	storemap map[pmm.Addr]*StoreRecord
+	// history: every committed store per address, in commit (σ) order.
+	history map[pmm.Addr][]*StoreRecord
+	// lineAddrs: which addresses on each cache line have been stored to.
+	lineAddrs map[pmm.Line]map[pmm.Addr]struct{}
+	// lastflush: line → lower bound clock for the line's write-back.
+	lastflush map[pmm.Line]vclock.VC
+	// cvpre: how much of this execution later executions have observed.
+	cvpre vclock.VC
+	// persistLB: per address, the latest store known persisted via an
+	// explicit flush (the engine's candidate windows start here).
+	persistLB map[pmm.Addr]*StoreRecord
+	// crashSeq: σ at the crash ending this execution (0 while running).
+	crashSeq vclock.Seq
+}
+
+func newExecution(id int) *Execution {
+	return &Execution{
+		ID:        id,
+		storemap:  make(map[pmm.Addr]*StoreRecord),
+		history:   make(map[pmm.Addr][]*StoreRecord),
+		lineAddrs: make(map[pmm.Line]map[pmm.Addr]struct{}),
+		lastflush: make(map[pmm.Line]vclock.VC),
+		cvpre:     vclock.New(),
+		persistLB: make(map[pmm.Addr]*StoreRecord),
+	}
+}
+
+// History returns the commit-ordered stores to addr in this execution.
+func (e *Execution) History(addr pmm.Addr) []*StoreRecord { return e.history[addr] }
+
+// Latest returns the latest committed store to addr, or nil.
+func (e *Execution) Latest(addr pmm.Addr) *StoreRecord { return e.storemap[addr] }
+
+// PersistLB returns the latest store to addr known persisted via explicit
+// flushes, or nil if no flush covered the address.
+func (e *Execution) PersistLB(addr pmm.Addr) *StoreRecord { return e.persistLB[addr] }
+
+// CrashSeq returns the σ at which this execution crashed (0 if running).
+func (e *Execution) CrashSeq() vclock.Seq { return e.crashSeq }
+
+// StoredAddrs returns every address written in this execution.
+func (e *Execution) StoredAddrs() []pmm.Addr {
+	out := make([]pmm.Addr, 0, len(e.storemap))
+	for a := range e.storemap {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Config selects the detector variant.
+type Config struct {
+	// Prefix enables the paper's key idea (§4.2): check races against every
+	// consistent prefix of the pre-crash execution rather than only the
+	// exact crash state. False gives the Table 5 baseline.
+	Prefix bool
+	// EADR adapts the detector to eADR platforms (§7.5), where the cache is
+	// inside the persistence domain and flushing is not required: a store is
+	// fully persistent once it has committed BEFORE anything the post-crash
+	// execution observed. Races shrink to stores that no observed operation
+	// is ordered after — the crash could still interrupt the (compiler-torn)
+	// store itself. Absence of races in the default mode implies absence
+	// under EADR, never the reverse.
+	EADR bool
+	// Benchmark names the program under test in reports.
+	Benchmark string
+	// Labeler renders an address as a field name for reports (normally
+	// Heap.LabelFor). May be nil.
+	Labeler func(pmm.Addr) string
+	// Suppress lists normalized field labels whose races are not reported —
+	// the paper's proposed annotation mechanism for stores that are only
+	// consumed by checksum validation (§7.5, "a future implementation of
+	// Yashme could use annotations to suppress race warnings").
+	Suppress []string
+}
+
+// suppressed reports whether the label is annotated away.
+func (c Config) suppressed(label string) bool {
+	n := report.NormalizeField(label)
+	for _, s := range c.Suppress {
+		if s == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Detector implements the Yashme algorithm over the event stream of a
+// tso.Machine. It satisfies tso.Listener for the current execution.
+type Detector struct {
+	cfg    Config
+	execs  []*Execution
+	report *report.Set
+}
+
+// New returns a detector with an initial (first pre-crash) execution.
+func New(cfg Config) *Detector {
+	d := &Detector{cfg: cfg, report: report.NewSet()}
+	d.execs = append(d.execs, newExecution(0))
+	return d
+}
+
+// Report returns the accumulated race reports.
+func (d *Detector) Report() *report.Set { return d.report }
+
+// Current returns the execution currently being recorded.
+func (d *Detector) Current() *Execution { return d.execs[len(d.execs)-1] }
+
+// Executions returns the execution stack, oldest first.
+func (d *Detector) Executions() []*Execution { return d.execs }
+
+// EndExecution marks the current execution crashed at crashSeq and pushes a
+// fresh execution for the post-crash run.
+func (d *Detector) EndExecution(crashSeq vclock.Seq) *Execution {
+	d.Current().crashSeq = crashSeq
+	e := newExecution(len(d.execs))
+	d.execs = append(d.execs, e)
+	return e
+}
+
+// --- tso.Listener: pre-crash bookkeeping (paper Figure 8) ---
+
+// StoreCommitted implements Evict_SB for stores: update storemap/history.
+func (d *Detector) StoreCommitted(rec *tso.CommittedStore) {
+	e := d.Current()
+	sr := &StoreRecord{
+		Addr: rec.Addr, Size: rec.Size, Val: rec.Val,
+		TID: rec.TID, Seq: rec.Seq, CV: rec.CV,
+		Atomic: rec.Atomic, Release: rec.Release,
+	}
+	e.storemap[rec.Addr] = sr
+	e.history[rec.Addr] = append(e.history[rec.Addr], sr)
+	line := pmm.LineOf(rec.Addr)
+	set, ok := e.lineAddrs[line]
+	if !ok {
+		set = make(map[pmm.Addr]struct{})
+		e.lineAddrs[line] = set
+	}
+	set[rec.Addr] = struct{}{}
+}
+
+// CLFlushCommitted implements Evict_SB for clflush: for every latest store
+// on the flushed line that happens-before the clflush and has no earlier
+// recorded flush ordered before this one, record ⟨τ, σ_clflush⟩ in its
+// flushmap entry. The store is also the new persist lower bound for its
+// address.
+func (d *Detector) CLFlushCommitted(tid vclock.TID, addr pmm.Addr, seq vclock.Seq, cv vclock.VC) {
+	d.applyFlush(pmm.LineOf(addr), cv, tid, seq, cv)
+}
+
+// CLWBBuffered is a no-op for the detector: a clwb guarantees nothing until
+// a fence (paper Figure 4b).
+func (d *Detector) CLWBBuffered(vclock.TID, pmm.Addr, vclock.VC) {}
+
+// CLWBPersisted implements Evict_FB: a fence made a buffered clwb durable.
+// A store is covered if it happens-before the clwb (flush.CV); the flush
+// identity recorded is the fence.
+func (d *Detector) CLWBPersisted(flush tso.FBEntry, fenceTID vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.VC) {
+	d.applyFlush(pmm.LineOf(flush.Addr), flush.CV, fenceTID, fenceSeq, fenceCV)
+}
+
+// FenceCommitted needs no detector action beyond what CLWBPersisted did.
+func (d *Detector) FenceCommitted(vclock.TID, vclock.Seq, vclock.VC) {}
+
+// applyFlush records a flush for every latest store on the line covered by
+// coverCV, unless an already-recorded flush is ordered before this flush
+// (orderCV) — the "first flush per thread" rule of Figure 8.
+func (d *Detector) applyFlush(line pmm.Line, coverCV vclock.VC, flushTID vclock.TID, flushSeq vclock.Seq, orderCV vclock.VC) {
+	e := d.Current()
+	for a := range e.lineAddrs[line] {
+		s := e.storemap[a]
+		if s == nil || !coverCV.Contains(s.TID, s.Seq) {
+			continue // store did not happen-before the flush
+		}
+		already := false
+		for _, f := range s.Flushes {
+			if orderCV.Contains(f.TID, f.Seq) {
+				already = true // an earlier flush is ordered before this one
+				break
+			}
+		}
+		if !already {
+			s.Flushes = append(s.Flushes, FlushRef{TID: flushTID, Seq: flushSeq})
+		}
+		if lb := e.persistLB[a]; lb == nil || s.Seq > lb.Seq {
+			e.persistLB[a] = s
+		}
+	}
+}
+
+var _ tso.Listener = (*Detector)(nil)
+
+// --- post-crash checks (paper Figure 9) ---
+
+// CheckCandidate runs the Load_NonAtomic race check for one candidate store
+// s in pre-crash execution e, without committing the observation. guarded
+// marks a checksum-validation load (report classified benign). It returns
+// the race report, or nil if the store is persistency-safe.
+//
+// The engine calls this for every store the load could have read from
+// (Jaaru's candidate sets); ObserveRead then commits the store actually
+// read.
+func (d *Detector) CheckCandidate(e *Execution, s *StoreRecord, guarded bool) *report.Race {
+	if s == nil || s.Seq == 0 || s.Atomic {
+		return nil // initial values and atomic stores cannot tear
+	}
+	line := pmm.LineOf(s.Addr)
+	// Condition 2 (coherence): if the post-crash execution already read an
+	// atomic release store on this line ordered after s, the line persisted
+	// after s completed.
+	if lf, ok := e.lastflush[line]; ok && lf.Contains(s.TID, s.Seq) {
+		return nil
+	}
+	if d.cfg.EADR {
+		// eADR: commitment is persistence. The store is safe as soon as the
+		// consistent prefix contains an operation STRICTLY after it (the
+		// observation proves the store completed before the crash); the
+		// store's own observation proves nothing — the crash could have
+		// interrupted the torn store itself.
+		if e.cvpre.Get(s.TID) > s.Seq {
+			return nil
+		}
+	} else {
+		// Conditions 3–4 (explicit flushes): a recorded flush defeats the
+		// race only if it is inside the consistent prefix E+ (CVpre).
+		// Baseline mode accepts any flush that happened before the crash.
+		for _, f := range s.Flushes {
+			if !d.cfg.Prefix || e.cvpre.Contains(f.TID, f.Seq) {
+				return nil
+			}
+		}
+	}
+	if d.cfg.suppressed(d.label(s.Addr)) {
+		return nil // annotated away (§7.5)
+	}
+	r := report.Race{
+		Benchmark: d.cfg.Benchmark,
+		Field:     d.label(s.Addr),
+		Addr:      uint64(s.Addr),
+		StoreSeq:  uint64(s.Seq),
+		StoreTID:  int(s.TID),
+		ExecID:    e.ID,
+		Benign:    guarded,
+		Flushed:   len(s.Flushes) > 0,
+	}
+	d.report.Add(r)
+	return &r
+}
+
+// ObserveRead commits that a later execution actually read store s from
+// execution e: it extends the consistent prefix E+ (CVpre ∪= CVs) and, for
+// atomic release stores, raises the line's write-back lower bound
+// (Load_Atomic in Figure 9).
+func (d *Detector) ObserveRead(e *Execution, s *StoreRecord) {
+	if s == nil || s.Seq == 0 {
+		return
+	}
+	if s.Atomic && s.Release {
+		line := pmm.LineOf(s.Addr)
+		lf, ok := e.lastflush[line]
+		if !ok {
+			lf = vclock.New()
+			e.lastflush[line] = lf
+		}
+		lf.Join(s.CV)
+	}
+	e.cvpre.Join(s.CV)
+}
+
+func (d *Detector) label(a pmm.Addr) string {
+	if d.cfg.Labeler != nil {
+		return d.cfg.Labeler(a)
+	}
+	return fmt.Sprintf("0x%x", uint64(a))
+}

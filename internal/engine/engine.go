@@ -1,0 +1,348 @@
+// Package engine implements the model-checking / random-execution
+// infrastructure Yashme runs on (the paper's Jaaru substrate, §6
+// "Implementation").
+//
+// The engine executes a pmm.Program under a controlled scheduler on a
+// simulated x86-TSO machine (internal/tso), injects a crash before a chosen
+// cache-flush or fence operation, derives the persisted memory image the
+// crash leaves behind, and runs the program's recovery procedure against it.
+// Post-crash loads are resolved Jaaru-style: for every address the engine
+// computes the set of candidate pre-crash stores the load could read from —
+// anything between the line's last guaranteed flush and the crash, because
+// the cache line may have been written back at any moment in between — and
+// the Yashme detector checks every candidate for a persistency race
+// (Load_NonAtomic) while the engine commits one candidate per cache line as
+// the actual value.
+//
+// Two modes mirror the paper: ModelCheck systematically injects a crash
+// before every clflush/clwb/fence point of a fixed schedule; RandomMode runs
+// seeded random schedules with a crash before one random fence point each.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"yashme/internal/pmm"
+	"yashme/internal/report"
+	"yashme/internal/vclock"
+)
+
+// Mode selects how executions and crash points are explored (paper §4:
+// "Yashme has two modes of operation").
+type Mode int
+
+const (
+	// ModelCheck injects a crash before every flush/fence point of a
+	// deterministic schedule (paper: "systematically injects crashes before
+	// every clflush or fence operation").
+	ModelCheck Mode = iota
+	// RandomMode runs randomly scheduled executions, each crashing before
+	// one randomly chosen flush/fence point; for programs too large to
+	// model check (PMDK, Redis, Memcached in the paper).
+	RandomMode
+)
+
+func (m Mode) String() string {
+	if m == ModelCheck {
+		return "model-check"
+	}
+	return "random"
+}
+
+// PersistPolicy decides, per cache line, where between the guaranteed flush
+// bound and the crash the line's persist point falls — i.e. which candidate
+// values the post-crash execution actually observes.
+type PersistPolicy int
+
+const (
+	// PersistLatest assumes every committed store reached persistence (the
+	// most optimistic image; recovery sees final values).
+	PersistLatest PersistPolicy = iota
+	// PersistMinimal assumes only explicitly flushed data persisted (the
+	// most pessimistic image; recovery sees the guaranteed state).
+	PersistMinimal
+	// PersistRandom picks a random persist point per line (seeded).
+	PersistRandom
+)
+
+// Options configures a run.
+type Options struct {
+	// Mode selects ModelCheck or RandomMode.
+	Mode Mode
+	// Prefix enables the prefix-based detection-window expansion (§4.2);
+	// disabling it gives the Table 5 baseline.
+	Prefix bool
+	// Benchmark names the program in race reports; defaults to the
+	// program's Name.
+	Benchmark string
+	// Seed seeds the scheduler and persist-point randomness.
+	Seed int64
+	// Executions is the number of random executions in RandomMode
+	// (default 20; the paper lets users pick per program size).
+	Executions int
+	// MaxCrashPoints caps the crash points explored per execution in
+	// ModelCheck (0 = all).
+	MaxCrashPoints int
+	// Schedules is the number of distinct thread schedules explored in
+	// ModelCheck (default 1 — the paper's Yashme "controls multithreaded
+	// scheduling to regenerate the same execution" and "does not
+	// exhaustively explore the space of schedules"; raising this trades
+	// time for schedule coverage).
+	Schedules int
+	// CandidateLimit caps how many candidate stores are race-checked per
+	// post-crash load (newest first); 0 checks all. Checking every
+	// candidate is what lets Yashme catch races in values the load did NOT
+	// actually observe — the ablation knob quantifies that design choice.
+	CandidateLimit int
+	// ExploreReads enables Jaaru-style read-choice exploration in
+	// ModelCheck: for every crash point, after the policy runs, one extra
+	// scenario is run per (cache line, candidate persist point) pair — the
+	// post-crash execution observes each value the line could have held.
+	// Capped at ReadChoiceCap extra scenarios per crash point.
+	ExploreReads bool
+	// PersistPolicies are the image policies explored per crash point in
+	// ModelCheck (default: latest then minimal). RandomMode always uses
+	// PersistRandom.
+	PersistPolicies []PersistPolicy
+	// TornValues synthesizes mixed old/new values for loads that observe a
+	// racing store (the paper's store-tearing symptom, Figure 1). Off by
+	// default so recovery code sees real committed values.
+	TornValues bool
+	// RecoveryCrashes additionally injects crashes inside the recovery
+	// execution (multi-crash scenarios, §6 exec stack), exploring up to
+	// this many recovery crash points per pre-crash point. 0 disables.
+	RecoveryCrashes int
+	// DetectorOff runs the bare infrastructure without race checks — the
+	// paper's "Jaaru time" column in Table 5.
+	DetectorOff bool
+	// Trace records every execution's commit-order event log and attaches a
+	// race witness (the race-revealing pre-crash prefix plus the post-crash
+	// observation, §5.1) to each report.
+	Trace bool
+	// EADR detects only the races possible on eADR platforms, where the
+	// cache is in the persistence domain (§7.5). The persisted image is the
+	// full committed state (flushing is a no-op for durability).
+	EADR bool
+	// Suppress lists field labels whose races are annotated away (§7.5).
+	Suppress []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Executions <= 0 {
+		o.Executions = 20
+	}
+	if o.Schedules <= 0 {
+		o.Schedules = 1
+	}
+	if len(o.PersistPolicies) == 0 {
+		o.PersistPolicies = []PersistPolicy{PersistLatest, PersistMinimal}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Stats aggregates operation counts across all executions of a run.
+type Stats struct {
+	Stores  int64
+	Loads   int64
+	Flushes int64
+	Fences  int64
+	RMWs    int64
+}
+
+func (s *Stats) add(o Stats) {
+	s.Stores += o.Stores
+	s.Loads += o.Loads
+	s.Flushes += o.Flushes
+	s.Fences += o.Fences
+	s.RMWs += o.RMWs
+}
+
+// PointStat records how many distinct races the scenarios crashing before
+// one particular flush/fence point revealed. The histogram quantifies the
+// paper's detection-window discussion (Figures 5 and 6): with the prefix
+// expansion, most crash points reveal the races; without it, only the
+// narrow window between a store and its flush does.
+type PointStat struct {
+	// Point is the 1-based crash point (0 = crash at completion).
+	Point int
+	// Races is the number of deduplicated races found by scenarios that
+	// crashed before this point (max across persist policies).
+	Races int
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Report holds the deduplicated persistency races (and benign races).
+	Report *report.Set
+	// ExecutionsRun counts complete pre-crash+post-crash scenario runs.
+	ExecutionsRun int
+	// CrashPoints is the number of flush/fence crash points in the probed
+	// schedule (ModelCheck) or the sum over random executions (RandomMode).
+	CrashPoints int
+	// Stats aggregates memory-operation counts.
+	Stats Stats
+	// Window is the per-crash-point race histogram (ModelCheck only).
+	Window []PointStat
+}
+
+// Run explores a program per the options and returns the merged reports.
+// makeProg must return a fresh program instance per call (scenario state is
+// captured in the program's closures).
+func Run(makeProg func() pmm.Program, opts Options) *Result {
+	opts = opts.withDefaults()
+	res := &Result{Report: report.NewSet()}
+	switch opts.Mode {
+	case ModelCheck:
+		runModelCheck(makeProg, opts, res)
+	case RandomMode:
+		runRandom(makeProg, opts, res)
+	default:
+		panic(fmt.Sprintf("engine: unknown mode %d", opts.Mode))
+	}
+	return res
+}
+
+// RunOne executes exactly one scenario: the workload runs to the given
+// crash point (0 = completion) under the persist policy and scheduler seed,
+// then recovery runs once. Used for functional verification and for the
+// paper's single-execution comparisons (Table 5).
+func RunOne(makeProg func() pmm.Program, opts Options, crashPoint int, pp PersistPolicy, seed int64) *Result {
+	opts = opts.withDefaults()
+	res := &Result{Report: report.NewSet()}
+	sc := newScenario(makeProg, opts, plan{0: crashPoint}, pp, seed)
+	sc.run()
+	res.absorb(sc)
+	res.CrashPoints = sc.crashPoints[0]
+	return res
+}
+
+func runModelCheck(makeProg func() pmm.Program, opts Options, res *Result) {
+	for sched := 0; sched < opts.Schedules; sched++ {
+		runModelCheckSchedule(makeProg, opts, res, opts.Seed+int64(sched), sched == 0)
+	}
+}
+
+// runModelCheckSchedule model-checks one deterministic schedule: it probes
+// the schedule's crash points and injects a crash before each of them.
+// ReadChoiceCap bounds the extra read-exploration scenarios per crash
+// point.
+const ReadChoiceCap = 24
+
+func runModelCheckSchedule(makeProg func() pmm.Program, opts Options, res *Result, seed int64, recordWindow bool) {
+	// Probe: one run with no crash to count the flush/fence points of the
+	// deterministic schedule.
+	probe := newScenario(makeProg, opts, plan{}, PersistLatest, seed)
+	probe.run()
+	n := probe.crashPoints[0]
+	if recordWindow {
+		res.CrashPoints = n
+	}
+
+	limit := n
+	if opts.MaxCrashPoints > 0 && limit > opts.MaxCrashPoints {
+		limit = opts.MaxCrashPoints
+	}
+	// c = 0 means "crash at completion" (power loss after the workload
+	// finishes but before any further flushing).
+	for c := 0; c <= limit; c++ {
+		point := PointStat{Point: c}
+		for ppIdx, pp := range opts.PersistPolicies {
+			sc := newScenario(makeProg, opts, plan{0: c}, pp, seed)
+			if opts.ExploreReads && ppIdx == 0 {
+				sc.lineChoices = make(map[pmm.Line]vclockSeqs)
+			}
+			sc.run()
+			if n := sc.det.Report().Count(); n > point.Races {
+				point.Races = n
+			}
+			res.absorb(sc)
+			if opts.ExploreReads && ppIdx == 0 {
+				exploreReadChoices(makeProg, opts, res, seed, c, sc.lineChoices, &point)
+			}
+			if opts.RecoveryCrashes > 0 {
+				m := sc.crashPoints[1]
+				if m > opts.RecoveryCrashes {
+					m = opts.RecoveryCrashes
+				}
+				for rc := 1; rc <= m; rc++ {
+					rsc := newScenario(makeProg, opts, plan{0: c, 1: rc}, pp, seed)
+					rsc.run()
+					res.absorb(rsc)
+				}
+			}
+		}
+		if recordWindow {
+			res.Window = append(res.Window, point)
+		}
+	}
+}
+
+// vclockSeqs is the per-line candidate list type (alias keeps the scenario
+// struct readable).
+type vclockSeqs = []vclock.Seq
+
+// exploreReadChoices re-runs a crash point once per (line, persist-point)
+// pair, pinning that line to that choice so the post-crash execution
+// actually observes every candidate value (Jaaru's constraint-based read
+// exploration, bounded by ReadChoiceCap).
+func exploreReadChoices(makeProg func() pmm.Program, opts Options, res *Result, seed int64, c int,
+	lineChoices map[pmm.Line]vclockSeqs, point *PointStat) {
+
+	// Deterministic line order.
+	var lines []pmm.Line
+	for l := range lineChoices {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	budget := ReadChoiceCap
+	for _, line := range lines {
+		for _, choice := range lineChoices[line] {
+			if budget == 0 {
+				return
+			}
+			budget--
+			sc := newScenario(makeProg, opts, plan{0: c}, PersistLatest, seed)
+			sc.persistOverride = map[pmm.Line]vclock.Seq{line: choice}
+			sc.run()
+			if n := sc.det.Report().Count(); n > point.Races {
+				point.Races = n
+			}
+			res.absorb(sc)
+		}
+	}
+}
+
+func runRandom(makeProg func() pmm.Program, opts Options, res *Result) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := 0; i < opts.Executions; i++ {
+		schedSeed := rng.Int63()
+		// Probe with this schedule to count its crash points, then re-run
+		// the identical schedule crashing before a random one of them.
+		probe := newScenario(makeProg, opts, plan{}, PersistRandom, schedSeed)
+		probe.run()
+		n := probe.crashPoints[0]
+		res.CrashPoints += n
+		c := 0
+		if n > 0 {
+			c = 1 + rng.Intn(n)
+		}
+		p := plan{0: c}
+		if opts.RecoveryCrashes > 0 && rng.Intn(2) == 0 {
+			p[1] = 1 + rng.Intn(opts.RecoveryCrashes)
+		}
+		sc := newScenario(makeProg, opts, p, PersistRandom, schedSeed)
+		sc.run()
+		res.absorb(sc)
+	}
+}
+
+func (res *Result) absorb(sc *scenario) {
+	res.Report.Merge(sc.det.Report())
+	res.ExecutionsRun++
+	res.Stats.add(sc.stats)
+}

@@ -1,0 +1,548 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"yashme/internal/core"
+	"yashme/internal/pmm"
+	"yashme/internal/report"
+	"yashme/internal/trace"
+	"yashme/internal/tso"
+	"yashme/internal/vclock"
+)
+
+// plan maps an execution index (0 = pre-crash workload, 1 = first recovery
+// run, ...) to the 1-based flush/fence point to crash before. A missing or
+// zero entry means the execution runs to completion (modelled as a power
+// loss at completion: unflushed data is still at risk).
+type plan map[int]int
+
+// errCrash is the sentinel panic that unwinds simulated threads at a crash.
+var errCrash = fmt.Errorf("engine: simulated crash")
+
+// MaxOpsPerExecution bounds the simulated operations of one execution; a
+// workload exceeding it (a runaway spin loop, typically) panics with a
+// diagnostic instead of hanging the checker.
+const MaxOpsPerExecution = 2_000_000
+
+// provCand is one candidate store a post-crash load could read from,
+// together with the execution it belongs to (candidates can span several
+// executions of the stack in multi-crash scenarios).
+type provCand struct {
+	exec  *core.Execution
+	store *core.StoreRecord
+}
+
+// imageEntry is the persisted-image record for one address after a crash:
+// the value the post-crash machine is seeded with, plus the provenance the
+// detector needs to check candidate reads. Setup-time initial values have
+// no candidates (they are fully persisted by definition).
+type imageEntry struct {
+	val  uint64
+	size int
+	// candidates are the stores a post-crash load of this address could
+	// read from, oldest first.
+	candidates []provCand
+	// chosen is the candidate the image committed to (zero-value = the
+	// address kept its Setup-time initial value).
+	chosen provCand
+	// prevVal is the image value before the chosen store; used to
+	// synthesize torn values.
+	prevVal uint64
+}
+
+// scenario runs one crash plan end to end.
+type scenario struct {
+	opts     Options
+	prog     pmm.Program
+	heap     *pmm.Heap
+	det      *core.Detector
+	machine  *tso.Machine
+	recorder *trace.Recorder // nil unless Options.Trace
+	rng      *rand.Rand
+	persist  PersistPolicy
+
+	crashPlan plan
+	// crashPoints counts flush/fence points seen per execution index.
+	crashPoints map[int]int
+	execIdx     int
+	crashed     bool
+
+	// persistOverride pins specific cache lines to specific persist points
+	// (read-choice exploration); lines not listed follow the policy.
+	persistOverride map[pmm.Line]vclock.Seq
+	// lineChoices records, per cache line, the candidate persist points the
+	// first crash image offered — the read-exploration frontier.
+	lineChoices map[pmm.Line][]vclock.Seq
+
+	image map[pmm.Addr]imageEntry
+	stats Stats
+	// opCount is the watchdog counter for the current execution.
+	opCount int
+}
+
+func newScenario(makeProg func() pmm.Program, opts Options, p plan, persist PersistPolicy, seed int64) *scenario {
+	prog := makeProg()
+	heap := pmm.NewHeap()
+	if prog.Setup != nil {
+		prog.Setup(heap)
+	}
+	benchmark := opts.Benchmark
+	if benchmark == "" {
+		benchmark = prog.Name
+	}
+	if opts.EADR {
+		// eADR: every committed store is persistent; the image is always
+		// the latest committed state.
+		persist = PersistLatest
+	}
+	det := core.New(core.Config{
+		Prefix:    opts.Prefix,
+		EADR:      opts.EADR,
+		Benchmark: benchmark,
+		Labeler:   func(a pmm.Addr) string { return heap.LabelFor(a) },
+		Suppress:  opts.Suppress,
+	})
+	sc := &scenario{
+		opts:        opts,
+		prog:        prog,
+		heap:        heap,
+		det:         det,
+		rng:         rand.New(rand.NewSource(seed)),
+		persist:     persist,
+		crashPlan:   p,
+		crashPoints: make(map[int]int),
+		image:       make(map[pmm.Addr]imageEntry),
+	}
+	if opts.Trace {
+		sc.recorder = trace.NewRecorder(det, heap.LabelFor)
+	}
+	for _, w := range heap.InitWrites() {
+		sc.image[w.Addr] = imageEntry{val: w.Val, size: w.Size, prevVal: w.Val}
+	}
+	return sc
+}
+
+// run executes the full scenario: pre-crash workload, then recovery runs
+// until one completes without crashing.
+func (sc *scenario) run() {
+	sc.startMachine()
+	sc.runExecution(sc.prog.Workers)
+
+	// Recovery executions. Each prior execution ended in a crash (or in
+	// completion, treated as a final power loss); run the recovery threads
+	// until a recovery completes or the plan runs out of crashes.
+	recovery := sc.prog.RecoveryWorkers()
+	if recovery == nil {
+		return
+	}
+	for {
+		if sc.recorder != nil {
+			sc.recorder.Crash(sc.machine.CurSeq())
+		}
+		sc.buildImage()
+		sc.execIdx++
+		sc.det.EndExecution(sc.machine.CurSeq())
+		sc.startMachine()
+		crashedHere := sc.runExecution(recovery)
+		if !crashedHere {
+			sc.attachWitnesses()
+			return
+		}
+	}
+}
+
+// attachWitnesses fills race witnesses from the recorded trace (§5.1: the
+// report is the race-revealing prefix plus the post-crash execution).
+func (sc *scenario) attachWitnesses() {
+	if sc.recorder == nil {
+		return
+	}
+	sc.det.Report().AttachWitnesses(func(r report.Race) string {
+		return sc.recorder.Witness(r.ExecID, vclock.Seq(r.StoreSeq), pmm.Addr(r.Addr))
+	})
+}
+
+// startMachine creates a fresh TSO machine for the current execution,
+// seeded from the persisted image.
+func (sc *scenario) startMachine() {
+	var listener tso.Listener = sc.det
+	if sc.recorder != nil {
+		sc.recorder.SetExec(sc.execIdx)
+		listener = sc.recorder
+	}
+	sc.machine = tso.NewMachine(listener)
+	for addr, e := range sc.image {
+		sc.machine.SeedMemory(addr, e.size, e.val)
+	}
+}
+
+// threadEvent is a thread → scheduler notification.
+type threadEvent struct {
+	tid  int
+	done bool
+}
+
+// runExecution runs the given thread functions under the controlled
+// scheduler; it returns whether the execution ended in an injected crash.
+func (sc *scenario) runExecution(fns []func(*pmm.Thread)) bool {
+	sc.crashed = false
+	sc.opCount = 0
+	n := len(fns)
+	if n == 0 {
+		return false
+	}
+	events := make(chan threadEvent, n)
+	resumes := make([]chan struct{}, n)
+	waiting := make([]bool, n)
+	finished := make([]bool, n)
+	panics := make([]interface{}, n)
+	for i := range fns {
+		resumes[i] = make(chan struct{})
+		waiting[i] = true
+		i := i
+		ops := &threadOps{sc: sc, tid: vclock.TID(i), resume: resumes[i], events: events}
+		th := pmm.NewThread(ops, sc.heap)
+		go func() {
+			defer func() {
+				// Workload panics propagate to the scheduler goroutine (so
+				// callers can recover them); the crash sentinel unwinds
+				// silently.
+				if r := recover(); r != nil && r != errCrash {
+					panics[i] = r
+				}
+				events <- threadEvent{tid: i, done: true}
+			}()
+			<-resumes[i] // wait for the first grant
+			if sc.crashed {
+				panic(errCrash)
+			}
+			fns[i](th)
+		}()
+	}
+	live := n
+	for live > 0 {
+		// Pick a waiting, unfinished thread. Deterministic given the seed.
+		var ready []int
+		for i := 0; i < n; i++ {
+			if waiting[i] && !finished[i] {
+				ready = append(ready, i)
+			}
+		}
+		if len(ready) == 0 {
+			panic("engine: scheduler deadlock (no runnable simulated thread)")
+		}
+		pick := ready[0]
+		if len(ready) > 1 {
+			pick = ready[sc.rng.Intn(len(ready))]
+		}
+		waiting[pick] = false
+		resumes[pick] <- struct{}{}
+		ev := <-events
+		if ev.done {
+			finished[ev.tid] = true
+			live--
+			if p := panics[ev.tid]; p != nil {
+				panic(p) // re-raise the workload panic in the caller
+			}
+			if !sc.crashed {
+				// The thread completed normally; its buffered stores drain
+				// (the hardware eventually writes them to the cache).
+				sc.machine.DrainSB(vclock.TID(ev.tid))
+			}
+			continue
+		}
+		waiting[ev.tid] = true
+	}
+	return sc.crashed
+}
+
+// crashNow is called from inside a simulated thread when the plan's crash
+// point is reached: it marks the scenario crashed and unwinds the thread.
+// Store buffers are NOT drained — buffered operations are lost, exactly as
+// on real hardware.
+func (sc *scenario) crashNow() {
+	sc.crashed = true
+	panic(errCrash)
+}
+
+// atCrashPoint counts a flush/fence point and reports whether the plan says
+// to crash before it.
+func (sc *scenario) atCrashPoint() bool {
+	sc.crashPoints[sc.execIdx]++
+	return sc.crashPlan[sc.execIdx] == sc.crashPoints[sc.execIdx]
+}
+
+// buildImage derives the persisted memory image after the current
+// execution's crash. Per cache line, the persist point is chosen between
+// the line's guaranteed flush floor and the crash; every address on the
+// line takes the latest store at or before that point. All stores after the
+// floor remain candidates for post-crash loads (the line might have been
+// written back at any moment), which is what the detector checks races
+// against.
+func (sc *scenario) buildImage() {
+	e := sc.det.Current()
+	addrs := e.StoredAddrs()
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	byLine := make(map[pmm.Line][]pmm.Addr)
+	var lines []pmm.Line
+	for _, a := range addrs {
+		l := pmm.LineOf(a)
+		if _, ok := byLine[l]; !ok {
+			lines = append(lines, l)
+		}
+		byLine[l] = append(byLine[l], a)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+
+	for _, line := range lines {
+		lineAddrs := byLine[line]
+		// Floor: the newest store on the line guaranteed persisted by an
+		// explicit flush. The flush wrote back the whole line, so the
+		// persist point cannot precede it.
+		var floor vclock.Seq
+		for _, a := range lineAddrs {
+			if lb := e.PersistLB(a); lb != nil && lb.Seq > floor {
+				floor = lb.Seq
+			}
+		}
+		// Persist-point choices: the floor itself or any later store commit
+		// on the line.
+		choices := []vclock.Seq{floor}
+		for _, a := range lineAddrs {
+			for _, s := range e.History(a) {
+				if s.Seq > floor {
+					choices = append(choices, s.Seq)
+				}
+			}
+		}
+		sort.Slice(choices, func(i, j int) bool { return choices[i] < choices[j] })
+		if sc.lineChoices != nil && sc.execIdx == 0 {
+			sc.lineChoices[line] = append([]vclock.Seq(nil), choices...)
+		}
+		var point vclock.Seq
+		switch sc.persist {
+		case PersistLatest:
+			point = choices[len(choices)-1]
+		case PersistMinimal:
+			point = choices[0]
+		case PersistRandom:
+			point = choices[sc.rng.Intn(len(choices))]
+		}
+		if over, ok := sc.persistOverride[line]; ok {
+			point = over
+		}
+
+		for _, a := range lineAddrs {
+			prev, hadPrev := sc.image[a]
+			entry := imageEntry{prevVal: prev.val, size: prev.size}
+			// Older candidates stay checkable: a load in a later execution
+			// could still observe a torn value from two crashes ago.
+			entry.candidates = append(entry.candidates, prev.candidates...)
+			var chosen *core.StoreRecord
+			for _, s := range e.History(a) {
+				if s.Seq > floor || s == e.PersistLB(a) {
+					entry.candidates = append(entry.candidates, provCand{exec: e, store: s})
+				}
+				if s.Seq <= point && (chosen == nil || s.Seq > chosen.Seq) {
+					chosen = s
+				}
+			}
+			if chosen != nil {
+				entry.chosen = provCand{exec: e, store: chosen}
+				entry.val = chosen.Val
+				entry.size = chosen.Size
+			} else {
+				// Nothing new persisted; the previous image value survives
+				// along with its provenance.
+				entry.chosen = prev.chosen
+				entry.val = prev.val
+				entry.prevVal = prev.prevVal
+				if !hadPrev {
+					entry.size = 8
+				}
+			}
+			sc.image[a] = entry
+		}
+	}
+}
+
+// resolvePostCrashLoad handles a load that reads a value seeded from the
+// persisted image: it race-checks every candidate store and commits the
+// observation of the chosen one. Returns the value the load sees.
+func (sc *scenario) resolvePostCrashLoad(tid vclock.TID, addr pmm.Addr, size int, atomicLoad, guarded bool) uint64 {
+	entry, ok := sc.image[addr]
+	if !ok {
+		return 0
+	}
+	if len(entry.candidates) == 0 && entry.chosen.store == nil {
+		return truncVal(entry.val, size) // Setup-time initial value
+	}
+	var chosenRaced bool
+	if !sc.opts.DetectorOff {
+		cands := entry.candidates
+		if lim := sc.opts.CandidateLimit; lim > 0 && len(cands) > lim {
+			cands = cands[len(cands)-lim:] // newest candidates only
+		}
+		for _, cand := range cands {
+			race := sc.det.CheckCandidate(cand.exec, cand.store, guarded)
+			if race != nil && cand.store == entry.chosen.store {
+				chosenRaced = true
+			}
+		}
+		if entry.chosen.store != nil {
+			sc.det.ObserveRead(entry.chosen.exec, entry.chosen.store)
+		}
+	}
+	val := entry.val
+	if sc.opts.TornValues && chosenRaced && !guarded && entry.chosen.store != nil && entry.chosen.store.Size > 1 {
+		val = tornValue(entry.prevVal, entry.chosen.store.Val, entry.chosen.store.Size)
+		entry.chosen.store.Torn = true
+	}
+	if sc.recorder != nil && entry.chosen.store != nil {
+		sc.recorder.Observe(tid, addr, truncVal(val, size), entry.chosen.exec.ID, entry.chosen.store.Seq, guarded)
+	}
+	return truncVal(val, size)
+}
+
+// tornValue mixes the low half of the new value with the high half of the
+// old one — the paper's Figure 1 outcome, where gcc's ARM64 backend splits
+// a 64-bit store into two 32-bit store-immediates and only the low half
+// persists (printing 0x12345678 from a store of 0x1234567812345678).
+func tornValue(oldVal, newVal uint64, size int) uint64 {
+	half := uint(size * 8 / 2)
+	lowMask := (uint64(1) << half) - 1
+	return (oldVal &^ lowMask) | (newVal & lowMask)
+}
+
+func truncVal(v uint64, size int) uint64 {
+	if size >= 8 {
+		return v
+	}
+	return v & ((uint64(1) << (8 * size)) - 1)
+}
+
+// threadOps implements pmm.Ops for one simulated thread: every operation
+// synchronizes with the scheduler, performs the TSO action, and applies the
+// store-buffer eviction policy.
+type threadOps struct {
+	sc      *scenario
+	tid     vclock.TID
+	resume  chan struct{}
+	events  chan threadEvent
+	guarded bool
+}
+
+var _ pmm.Ops = (*threadOps)(nil)
+
+func (t *threadOps) TID() int { return int(t.tid) }
+
+// sync yields to the scheduler and blocks until granted. At a crash the
+// grant returns with sc.crashed set and the thread unwinds.
+func (t *threadOps) sync() {
+	t.events <- threadEvent{tid: int(t.tid)}
+	<-t.resume
+	if t.sc.crashed {
+		panic(errCrash)
+	}
+	t.sc.opCount++
+	if t.sc.opCount > MaxOpsPerExecution {
+		panic(fmt.Sprintf("engine: execution exceeded %d operations (runaway workload?)", MaxOpsPerExecution))
+	}
+}
+
+// afterOp applies the eviction policy: ModelCheck drains eagerly (one
+// deterministic commit order); RandomMode drains a random number of entries,
+// exposing store-buffer loss at crashes.
+func (t *threadOps) afterOp() {
+	m := t.sc.machine
+	if t.sc.opts.Mode == ModelCheck {
+		m.DrainSB(t.tid)
+		return
+	}
+	for m.SBLen(t.tid) > 0 && (m.SBLen(t.tid) > 8 || t.sc.rng.Intn(2) == 0) {
+		m.EvictOne(t.tid)
+	}
+}
+
+func (t *threadOps) Store(a pmm.Addr, size int, v uint64, atomic, release bool) {
+	t.sync()
+	t.sc.stats.Stores++
+	t.sc.machine.EnqueueStore(t.tid, a, size, v, atomic, release)
+	t.afterOp()
+}
+
+func (t *threadOps) Load(a pmm.Addr, size int, atomic, acquire bool) uint64 {
+	t.sync()
+	t.sc.stats.Loads++
+	val, rec, fromSB := t.sc.machine.LoadDetail(t.tid, a, size, acquire)
+	if fromSB || (rec != nil && rec.Seq > 0) {
+		return val // a value produced by the current execution
+	}
+	// Seeded (rec with Seq 0) or absent: the load reads across the crash.
+	if t.sc.execIdx > 0 {
+		return t.sc.resolvePostCrashLoad(t.tid, a, size, atomic, t.guarded)
+	}
+	return val
+}
+
+func (t *threadOps) RMW(a pmm.Addr, size int, f func(old uint64) (uint64, bool)) (uint64, bool) {
+	t.sync()
+	if t.sc.atCrashPoint() { // locked RMW has fence semantics: a crash point
+		t.sc.crashNow()
+	}
+	t.sc.stats.RMWs++
+	// A cross-crash RMW read observes the image value first.
+	if t.sc.execIdx > 0 {
+		if rec, ok := t.sc.machine.VolatileValue(a); ok && rec.Seq == 0 {
+			t.sc.resolvePostCrashLoad(t.tid, a, size, true, t.guarded)
+		}
+	}
+	return t.sc.machine.RMW(t.tid, a, size, f)
+}
+
+func (t *threadOps) CLFlush(a pmm.Addr) {
+	t.sync()
+	if t.sc.atCrashPoint() {
+		t.sc.crashNow()
+	}
+	t.sc.stats.Flushes++
+	t.sc.machine.EnqueueCLFlush(t.tid, a)
+	t.afterOp()
+}
+
+func (t *threadOps) CLWB(a pmm.Addr) {
+	t.sync()
+	if t.sc.atCrashPoint() {
+		t.sc.crashNow()
+	}
+	t.sc.stats.Flushes++
+	t.sc.machine.EnqueueCLWB(t.tid, a)
+	t.afterOp()
+}
+
+func (t *threadOps) SFence() {
+	t.sync()
+	if t.sc.atCrashPoint() {
+		t.sc.crashNow()
+	}
+	t.sc.stats.Fences++
+	t.sc.machine.EnqueueSFence(t.tid)
+	t.afterOp()
+}
+
+func (t *threadOps) MFence() {
+	t.sync()
+	if t.sc.atCrashPoint() {
+		t.sc.crashNow()
+	}
+	t.sc.stats.Fences++
+	t.sc.machine.MFence(t.tid)
+}
+
+func (t *threadOps) Yield() { t.sync() }
+
+func (t *threadOps) SetChecksumGuard(on bool) { t.guarded = on }

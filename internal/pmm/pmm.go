@@ -1,0 +1,318 @@
+// Package pmm defines the persistent-memory program model.
+//
+// Yashme instruments LLVM IR so that compiled C/C++ persistent-memory
+// programs report their loads, stores, cache-line flushes and fences to a
+// simulator. This Go reproduction replaces that front end: workloads are Go
+// functions that issue the same events against a simulated persistent heap.
+// Package pmm holds everything a workload needs — addresses, cache-line
+// geometry, a heap of named objects, and the Thread handle exposing the
+// Px86 operation surface — while the simulation itself lives in
+// internal/engine and the race detector in internal/core.
+package pmm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is a byte address in the simulated persistent memory.
+type Addr uint64
+
+// CacheLineSize is the simulated cache-line size in bytes, matching x86.
+const CacheLineSize = 64
+
+// Line identifies a cache line.
+type Line uint64
+
+// LineOf returns the cache line containing a.
+func LineOf(a Addr) Line { return Line(a / CacheLineSize) }
+
+// SameLine reports whether two addresses fall on the same cache line.
+func SameLine(a, b Addr) bool { return LineOf(a) == LineOf(b) }
+
+// FieldDef declares one field of a persistent struct layout.
+type FieldDef struct {
+	Name string
+	Size int // bytes: 1, 2, 4 or 8
+}
+
+// Layout is an ordered list of fields. Offsets are assigned in order with
+// natural alignment (each field aligned to its own size), like a C struct
+// without packing pragmas.
+type Layout []FieldDef
+
+type fieldInfo struct {
+	name   string
+	offset int
+	size   int
+}
+
+type layoutInfo struct {
+	fields []fieldInfo
+	byName map[string]int
+	size   int // struct size, rounded up to max alignment
+}
+
+func buildLayout(l Layout) *layoutInfo {
+	info := &layoutInfo{byName: make(map[string]int, len(l))}
+	off, maxAlign := 0, 1
+	for _, f := range l {
+		switch f.Size {
+		case 1, 2, 4, 8:
+		default:
+			panic(fmt.Sprintf("pmm: field %q has unsupported size %d", f.Name, f.Size))
+		}
+		if _, dup := info.byName[f.Name]; dup {
+			panic(fmt.Sprintf("pmm: duplicate field %q", f.Name))
+		}
+		if f.Size > maxAlign {
+			maxAlign = f.Size
+		}
+		off = align(off, f.Size)
+		info.byName[f.Name] = len(info.fields)
+		info.fields = append(info.fields, fieldInfo{name: f.Name, offset: off, size: f.Size})
+		off += f.Size
+	}
+	info.size = align(off, maxAlign)
+	if info.size == 0 {
+		info.size = maxAlign
+	}
+	return info
+}
+
+func align(off, a int) int { return (off + a - 1) &^ (a - 1) }
+
+// allocation records one named persistent object (possibly an array).
+type allocation struct {
+	base   Addr
+	size   int // total bytes
+	label  string
+	layout *layoutInfo // nil for raw allocations
+	count  int         // array element count; 1 for plain structs
+	stride int
+}
+
+// Heap allocates named persistent objects. Each allocation is cache-line
+// aligned so that struct layouts control line sharing deterministically
+// (several of the reproduced bugs — e.g. CCEH's key/value pair — depend on
+// two fields sharing a cache line).
+//
+// Heap is not safe for concurrent use; the engine serializes all simulated
+// threads, so workload code may allocate at any scheduling point.
+type Heap struct {
+	next   Addr
+	allocs []allocation // sorted by base
+	inits  []InitWrite
+}
+
+// InitWrite is a pre-execution write applied directly to the persistent
+// image before the pre-crash execution starts (it is fully persisted and
+// never participates in race detection).
+type InitWrite struct {
+	Addr Addr
+	Size int
+	Val  uint64
+}
+
+// NewHeap returns an empty heap. The first allocation starts at a non-zero,
+// line-aligned address so that Addr(0) can mean "null".
+func NewHeap() *Heap { return &Heap{next: CacheLineSize} }
+
+// Struct is a handle to an allocated struct instance.
+type Struct struct {
+	heap   *Heap
+	base   Addr
+	layout *layoutInfo
+	label  string
+}
+
+// Array is a handle to an allocated array of structs.
+type Array struct {
+	heap   *Heap
+	base   Addr
+	layout *layoutInfo
+	label  string
+	count  int
+	stride int
+}
+
+// AllocStruct allocates one struct with the given label and layout.
+func (h *Heap) AllocStruct(label string, l Layout) Struct {
+	info := buildLayout(l)
+	base := h.place(info.size)
+	h.allocs = append(h.allocs, allocation{base: base, size: info.size, label: label, layout: info, count: 1, stride: info.size})
+	return Struct{heap: h, base: base, layout: info, label: label}
+}
+
+// AllocArray allocates count contiguous struct instances. The element stride
+// is the struct size rounded up to 8 bytes so that elements stay internally
+// aligned.
+func (h *Heap) AllocArray(label string, l Layout, count int) Array {
+	if count <= 0 {
+		panic("pmm: AllocArray count must be positive")
+	}
+	info := buildLayout(l)
+	stride := align(info.size, 8)
+	base := h.place(stride * count)
+	h.allocs = append(h.allocs, allocation{base: base, size: stride * count, label: label, layout: info, count: count, stride: stride})
+	return Array{heap: h, base: base, layout: info, label: label, count: count, stride: stride}
+}
+
+// AllocRaw allocates size bytes with no field structure. Accesses into raw
+// allocations are labelled "label+off".
+func (h *Heap) AllocRaw(label string, size int) Addr {
+	if size <= 0 {
+		panic("pmm: AllocRaw size must be positive")
+	}
+	base := h.place(size)
+	h.allocs = append(h.allocs, allocation{base: base, size: size, label: label, count: 1, stride: size})
+	return base
+}
+
+func (h *Heap) place(size int) Addr {
+	base := Addr(align(int(h.next), CacheLineSize))
+	h.next = base + Addr(size)
+	return base
+}
+
+// Init records a fully-persisted initial value for (addr, size). The engine
+// applies Init writes to the persistent image before execution begins.
+func (h *Heap) Init(addr Addr, size int, val uint64) {
+	h.inits = append(h.inits, InitWrite{Addr: addr, Size: size, Val: val})
+}
+
+// InitWrites returns the recorded initial writes.
+func (h *Heap) InitWrites() []InitWrite { return h.inits }
+
+// Base returns the struct's base address.
+func (s Struct) Base() Addr { return s.base }
+
+// Size returns the struct's size in bytes.
+func (s Struct) Size() int { return s.layout.size }
+
+// Field returns the address of the named field and its size.
+func (s Struct) Field(name string) (Addr, int) {
+	i, ok := s.layout.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("pmm: struct %q has no field %q", s.label, name))
+	}
+	f := s.layout.fields[i]
+	return s.base + Addr(f.offset), f.size
+}
+
+// F returns just the address of the named field.
+func (s Struct) F(name string) Addr {
+	a, _ := s.Field(name)
+	return a
+}
+
+// Label returns the struct's allocation label.
+func (s Struct) Label() string { return s.label }
+
+// At returns the i'th element of the array as a Struct handle.
+func (a Array) At(i int) Struct {
+	if i < 0 || i >= a.count {
+		panic(fmt.Sprintf("pmm: array %q index %d out of range [0,%d)", a.label, i, a.count))
+	}
+	return Struct{heap: a.heap, base: a.base + Addr(i*a.stride), layout: a.layout, label: a.label}
+}
+
+// Len returns the number of elements.
+func (a Array) Len() int { return a.count }
+
+// Base returns the array's base address.
+func (a Array) Base() Addr { return a.base }
+
+// Stride returns the distance in bytes between consecutive elements.
+func (a Array) Stride() int { return a.stride }
+
+// findAlloc returns the allocation containing addr, or nil.
+func (h *Heap) findAlloc(addr Addr) *allocation {
+	// allocs are appended in increasing base order.
+	i := sort.Search(len(h.allocs), func(i int) bool { return h.allocs[i].base > addr })
+	if i == 0 {
+		return nil
+	}
+	a := &h.allocs[i-1]
+	if addr >= a.base+Addr(a.size) {
+		return nil
+	}
+	return a
+}
+
+// LabelFor renders a human-readable name for an address: "Obj.field",
+// "Obj[3].field", "raw+8", or "0xADDR" if the address is unknown. Race
+// reports use these names as the bug's root cause, mirroring the paper's
+// Tables 3 and 4 which identify bugs by field.
+func (h *Heap) LabelFor(addr Addr) string {
+	a := h.findAlloc(addr)
+	if a == nil {
+		return fmt.Sprintf("0x%x", uint64(addr))
+	}
+	off := int(addr - a.base)
+	if a.layout == nil {
+		if off == 0 {
+			return a.label
+		}
+		return fmt.Sprintf("%s+%d", a.label, off)
+	}
+	idx, rem := 0, off
+	if a.count > 1 {
+		idx, rem = off/a.stride, off%a.stride
+	}
+	fieldName := fmt.Sprintf("+%d", rem)
+	for _, f := range a.layout.fields {
+		if rem >= f.offset && rem < f.offset+f.size {
+			fieldName = f.name
+			break
+		}
+	}
+	if a.count > 1 {
+		return fmt.Sprintf("%s[%d].%s", a.label, idx, fieldName)
+	}
+	return fmt.Sprintf("%s.%s", a.label, fieldName)
+}
+
+// FieldAt describes one field instance within an address range; used to
+// decompose memset/memcpy into field-granular stores.
+type FieldAt struct {
+	Addr Addr
+	Size int
+}
+
+// FieldsIn returns the field-granular access units covering [addr,
+// addr+size). For structured allocations these are the declared fields; for
+// raw allocations the range is cut into aligned 8-byte chunks with a byte
+// tail. Panics if the range is not fully contained in one allocation.
+func (h *Heap) FieldsIn(addr Addr, size int) []FieldAt {
+	a := h.findAlloc(addr)
+	if a == nil || addr+Addr(size) > a.base+Addr(a.size) {
+		panic(fmt.Sprintf("pmm: range [0x%x,+%d) not within a single allocation", uint64(addr), size))
+	}
+	var out []FieldAt
+	if a.layout == nil {
+		for cur, end := addr, addr+Addr(size); cur < end; {
+			step := 8
+			if int(cur)%8 != 0 {
+				step = 1
+			}
+			if Addr(step) > end-cur {
+				step = 1
+			}
+			out = append(out, FieldAt{Addr: cur, Size: step})
+			cur += Addr(step)
+		}
+		return out
+	}
+	end := addr + Addr(size)
+	for i := 0; i < a.count; i++ {
+		elemBase := a.base + Addr(i*a.stride)
+		for _, f := range a.layout.fields {
+			fa := elemBase + Addr(f.offset)
+			if fa >= addr && fa+Addr(f.size) <= end {
+				out = append(out, FieldAt{Addr: fa, Size: f.size})
+			}
+		}
+	}
+	return out
+}

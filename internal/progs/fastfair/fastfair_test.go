@@ -1,0 +1,217 @@
+package fastfair
+
+import (
+	"testing"
+
+	"yashme/internal/engine"
+	"yashme/internal/pmm"
+	"yashme/internal/progs/progtest"
+)
+
+func TestRacesMatchPaperTable3(t *testing.T) {
+	progtest.AssertRaces(t, New(7, nil), ExpectedRaces)
+}
+
+func TestFunctionalFullRun(t *testing.T) {
+	var stats Stats
+	progtest.RunFull(t, New(9, &stats))
+	// Key 2 was deleted by the driver.
+	if stats.Found != 8 || stats.Missing != 1 || stats.Wrong != 0 {
+		t.Fatalf("full-run recovery stats = %+v, want 8 found / 1 missing (deleted) / 0 wrong", stats)
+	}
+}
+
+func TestInsertSearchAcrossSplits(t *testing.T) {
+	results := map[uint64]uint64{}
+	mk := func() pmm.Program {
+		var tr *Tree
+		return pmm.Program{
+			Name:  "ff-sem",
+			Setup: func(h *pmm.Heap) { tr = NewTree(h) },
+			Workers: []func(*pmm.Thread){func(t *pmm.Thread) {
+				// Enough keys for multi-level splits with cardinality 4.
+				for k := uint64(1); k <= 20; k++ {
+					tr.Insert(t, k, ValueFor(k))
+				}
+				for k := uint64(1); k <= 20; k++ {
+					if v, ok := tr.Search(t, k); ok {
+						results[k] = v
+					}
+				}
+			}},
+		}
+	}
+	progtest.RunFull(t, mk)
+	for k := uint64(1); k <= 20; k++ {
+		if results[k] != ValueFor(k) {
+			t.Fatalf("key %d = %#x, want %#x", k, results[k], ValueFor(k))
+		}
+	}
+}
+
+func TestDescendingInsertOrder(t *testing.T) {
+	found := 0
+	mk := func() pmm.Program {
+		var tr *Tree
+		return pmm.Program{
+			Name:  "ff-desc",
+			Setup: func(h *pmm.Heap) { tr = NewTree(h) },
+			Workers: []func(*pmm.Thread){func(t *pmm.Thread) {
+				for k := uint64(12); k >= 1; k-- {
+					tr.Insert(t, k, ValueFor(k))
+				}
+				for k := uint64(1); k <= 12; k++ {
+					if v, ok := tr.Search(t, k); ok && v == ValueFor(k) {
+						found++
+					}
+				}
+			}},
+		}
+	}
+	progtest.RunFull(t, mk)
+	if found != 12 {
+		t.Fatalf("descending insert: found %d of 12", found)
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	var okDel, foundAfter bool
+	mk := func() pmm.Program {
+		var tr *Tree
+		return pmm.Program{
+			Name:  "ff-del",
+			Setup: func(h *pmm.Heap) { tr = NewTree(h) },
+			Workers: []func(*pmm.Thread){func(t *pmm.Thread) {
+				for k := uint64(1); k <= 3; k++ {
+					tr.Insert(t, k, ValueFor(k))
+				}
+				okDel = tr.Delete(t, 2)
+				_, foundAfter = tr.Search(t, 2)
+			}},
+		}
+	}
+	progtest.RunFull(t, mk)
+	if !okDel || foundAfter {
+		t.Fatalf("delete=%v foundAfter=%v", okDel, foundAfter)
+	}
+}
+
+func TestDeleteMissingKey(t *testing.T) {
+	var ok bool
+	mk := func() pmm.Program {
+		var tr *Tree
+		return pmm.Program{
+			Name:  "ff-delmiss",
+			Setup: func(h *pmm.Heap) { tr = NewTree(h) },
+			Workers: []func(*pmm.Thread){func(t *pmm.Thread) {
+				tr.Insert(t, 1, 10)
+				ok = tr.Delete(t, 99)
+			}},
+		}
+	}
+	progtest.RunFull(t, mk)
+	if ok {
+		t.Fatal("deleting a missing key reported success")
+	}
+}
+
+// Construction-time fields (level, leftmost_ptr) are flushed before the
+// node is published and must never be reported.
+func TestConstructionFieldsAreSafe(t *testing.T) {
+	res := engine.Run(New(7, nil), engine.Options{Mode: engine.ModelCheck, Prefix: true})
+	for _, r := range res.Report.Races() {
+		if r.Field == "header.level" || r.Field == "header.leftmost_ptr" {
+			t.Fatalf("construction-time field raced: %v", r)
+		}
+	}
+}
+
+func TestPrefixBeatsBaselineOnSingleExecution(t *testing.T) {
+	best := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		prefix, baseline := progtest.BaselineFindsFewer(t, New(7, nil), seed)
+		if d := prefix - baseline; d > best {
+			best = d
+		}
+	}
+	if best < 1 {
+		t.Fatal("no seed exposed prefix-only races on Fast_Fair")
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	var keys, vals []uint64
+	mk := func() pmm.Program {
+		var tr *Tree
+		return pmm.Program{
+			Name:  "ff-scan",
+			Setup: func(h *pmm.Heap) { tr = NewTree(h) },
+			Workers: []func(*pmm.Thread){func(t *pmm.Thread) {
+				for k := uint64(20); k >= 1; k-- { // descending: shifts + splits
+					tr.Insert(t, k, ValueFor(k))
+				}
+				keys, vals = tr.RangeScan(t, 5, 15)
+			}},
+		}
+	}
+	progtest.RunFull(t, mk)
+	if len(keys) != 11 {
+		t.Fatalf("scan [5,15] returned %d keys: %v", len(keys), keys)
+	}
+	for i, k := range keys {
+		if k != uint64(5+i) {
+			t.Fatalf("scan out of order at %d: %v", i, keys)
+		}
+		if vals[i] != ValueFor(k) {
+			t.Fatalf("scan value mismatch for key %d", k)
+		}
+	}
+}
+
+func TestRangeScanEmptyRange(t *testing.T) {
+	var keys []uint64
+	mk := func() pmm.Program {
+		var tr *Tree
+		return pmm.Program{
+			Name:  "ff-scan-empty",
+			Setup: func(h *pmm.Heap) { tr = NewTree(h) },
+			Workers: []func(*pmm.Thread){func(t *pmm.Thread) {
+				tr.Insert(t, 100, 1)
+				keys, _ = tr.RangeScan(t, 5, 15)
+			}},
+		}
+	}
+	progtest.RunFull(t, mk)
+	if len(keys) != 0 {
+		t.Fatalf("empty range returned %v", keys)
+	}
+}
+
+// A post-crash range scan observes the same race set as point lookups.
+func TestRangeScanObservesRaces(t *testing.T) {
+	mk := func() pmm.Program {
+		var tr *Tree
+		return pmm.Program{
+			Name:  "Fast_Fair",
+			Setup: func(h *pmm.Heap) { tr = NewTree(h) },
+			Workers: []func(*pmm.Thread){func(t *pmm.Thread) {
+				for k := uint64(7); k >= 1; k-- {
+					tr.Insert(t, k, ValueFor(k))
+				}
+			}},
+			PostCrash: func(t *pmm.Thread) {
+				tr.RangeScan(t, 0, ^uint64(0))
+			},
+		}
+	}
+	res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true})
+	fields := map[string]bool{}
+	for _, f := range res.Report.Fields() {
+		fields[f] = true
+	}
+	for _, want := range []string{"entry.key", "header.last_index", "header.switch_counter", "header.sibling_ptr", "btree.root"} {
+		if !fields[want] {
+			t.Errorf("range-scan recovery missed race on %s (got %v)", want, res.Report.Fields())
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package progtest provides shared assertions for the benchmark
+// reproductions: that model checking finds exactly the paper's racy fields,
+// and that the data structures are functionally correct (a full run's
+// recovery observes every inserted item).
+package progtest
+
+import (
+	"sort"
+	"testing"
+
+	"yashme/internal/engine"
+	"yashme/internal/pmm"
+)
+
+// AssertRaces model-checks the program and requires the set of non-benign
+// racing fields to be exactly expected (order-insensitive).
+func AssertRaces(t *testing.T, mk func() pmm.Program, expected []string) {
+	t.Helper()
+	res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true})
+	got := res.Report.Fields()
+	want := append([]string(nil), expected...)
+	sort.Strings(want)
+	if !equal(got, want) {
+		t.Fatalf("racing fields = %v\nwant            = %v\nreports:\n%s", got, want, res.Report)
+	}
+}
+
+// AssertNoRaces model-checks the program and requires zero non-benign races
+// (the P-CLHT control).
+func AssertNoRaces(t *testing.T, mk func() pmm.Program) {
+	t.Helper()
+	res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true})
+	if res.Report.Count() != 0 {
+		t.Fatalf("expected no races, found:\n%s", res.Report)
+	}
+}
+
+// RunFull runs a single scenario to completion with the full volatile state
+// persisted — the functional-correctness configuration: recovery must see
+// everything the workload wrote.
+func RunFull(t *testing.T, mk func() pmm.Program) {
+	t.Helper()
+	engine.RunOne(mk, engine.Options{Prefix: true}, 0, engine.PersistLatest, 1)
+}
+
+// BaselineFindsFewer asserts the paper's Table 5 shape on this program: in
+// identical single random executions, prefix mode finds at least as many
+// races as the baseline.
+func BaselineFindsFewer(t *testing.T, mk func() pmm.Program, seed int64) (prefix, baseline int) {
+	t.Helper()
+	p := engine.Run(mk, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: seed, Executions: 1})
+	b := engine.Run(mk, engine.Options{Mode: engine.RandomMode, Prefix: false, Seed: seed, Executions: 1})
+	if p.Report.Count() < b.Report.Count() {
+		t.Fatalf("prefix found %d < baseline %d", p.Report.Count(), b.Report.Count())
+	}
+	return p.Report.Count(), b.Report.Count()
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

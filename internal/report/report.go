@@ -1,0 +1,172 @@
+// Package report collects, deduplicates and renders persistency-race
+// reports. The paper's Tables 3 and 4 identify each bug by the program and
+// the field (root cause) that races; races are therefore deduplicated by
+// (benchmark, field), matching the paper's manual deduplication ("one
+// variable can participate in multiple buggy scenarios", §7.2).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Race is one persistency-race report: a post-crash load observed a
+// non-atomic pre-crash store that a derivable pre-crash execution prefix
+// leaves unpersisted.
+type Race struct {
+	// Benchmark is the program under test.
+	Benchmark string
+	// Field is the root cause: the named persistent field the racing store
+	// wrote (e.g. "Pair.key").
+	Field string
+	// Addr is the racing store's address.
+	Addr uint64
+	// StoreSeq and StoreTID identify the racing store in the pre-crash
+	// commit order.
+	StoreSeq uint64
+	StoreTID int
+	// ExecID is the pre-crash execution (in the execution stack) that the
+	// racing store belongs to.
+	ExecID int
+	// Benign marks a race observed only by checksum-validation loads
+	// (§7.5): a true persistency race by definition, but the program
+	// rejects the corrupt data before use.
+	Benign bool
+	// Flushed reports whether the store had been flushed before the crash
+	// (true exactly when only the prefix expansion could reveal the race).
+	Flushed bool
+	// Witness, when execution tracing is enabled, is the race-revealing
+	// pre-crash prefix combined with the post-crash observation (§5.1).
+	Witness string
+}
+
+func (r Race) String() string {
+	kind := "persistency race"
+	if r.Benign {
+		kind = "benign (checksum-guarded) persistency race"
+	}
+	return fmt.Sprintf("%s: %s on %s (store seq=%d tid=%d exec=%d flushed-pre-crash=%v)",
+		kind, r.Benchmark, r.Field, r.StoreSeq, r.StoreTID, r.ExecID, r.Flushed)
+}
+
+// Key is the dedup identity of a race.
+func (r Race) Key() string { return r.Benchmark + "\x00" + r.Field + "\x00" + benignTag(r.Benign) }
+
+func benignTag(b bool) string {
+	if b {
+		return "benign"
+	}
+	return "harmful"
+}
+
+// NormalizeField strips array indices from a field label ("seg[3].key" →
+// "seg.key"): the paper's tables identify bugs by struct field, not by
+// element instance.
+func NormalizeField(field string) string {
+	if !strings.ContainsRune(field, '[') {
+		return field
+	}
+	var b strings.Builder
+	depth := 0
+	for _, r := range field {
+		switch {
+		case r == '[':
+			depth++
+		case r == ']' && depth > 0:
+			depth--
+		case depth == 0:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Set accumulates deduplicated race reports.
+type Set struct {
+	byKey map[string]Race
+	order []string
+	// RawCount counts every reported race before deduplication.
+	RawCount int
+}
+
+// NewSet returns an empty report set.
+func NewSet() *Set { return &Set{byKey: make(map[string]Race)} }
+
+// Add records a race, deduplicating by (benchmark, field, benignness).
+// The field is normalized (array indices stripped) first. It reports
+// whether the race was new.
+func (s *Set) Add(r Race) bool {
+	s.RawCount++
+	r.Field = NormalizeField(r.Field)
+	k := r.Key()
+	if _, seen := s.byKey[k]; seen {
+		return false
+	}
+	s.byKey[k] = r
+	s.order = append(s.order, k)
+	return true
+}
+
+// Races returns the deduplicated non-benign races in first-seen order.
+func (s *Set) Races() []Race { return s.filter(false) }
+
+// Benign returns the deduplicated benign (checksum-guarded) races.
+func (s *Set) Benign() []Race { return s.filter(true) }
+
+func (s *Set) filter(benign bool) []Race {
+	var out []Race
+	for _, k := range s.order {
+		if r := s.byKey[k]; r.Benign == benign {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Count returns the number of deduplicated non-benign races.
+func (s *Set) Count() int { return len(s.Races()) }
+
+// BenignCount returns the number of deduplicated benign races.
+func (s *Set) BenignCount() int { return len(s.Benign()) }
+
+// Fields returns the sorted set of non-benign racing field names.
+func (s *Set) Fields() []string {
+	var out []string
+	for _, r := range s.Races() {
+		out = append(out, r.Field)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttachWitnesses fills the Witness of every race that lacks one, using the
+// supplied builder (typically trace.Recorder.Witness).
+func (s *Set) AttachWitnesses(build func(Race) string) {
+	for k, r := range s.byKey {
+		if r.Witness == "" {
+			r.Witness = build(r)
+			s.byKey[k] = r
+		}
+	}
+}
+
+// Merge adds every race from other into s.
+func (s *Set) Merge(other *Set) {
+	for _, k := range other.order {
+		s.Add(other.byKey[k])
+	}
+	s.RawCount += other.RawCount - len(other.order)
+}
+
+// String renders the set, one race per line, non-benign first.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, r := range s.Races() {
+		fmt.Fprintln(&b, r)
+	}
+	for _, r := range s.Benign() {
+		fmt.Fprintln(&b, r)
+	}
+	return b.String()
+}

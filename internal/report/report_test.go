@@ -1,0 +1,156 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeField(t *testing.T) {
+	cases := map[string]string{
+		"Pair.key":      "Pair.key",
+		"seg[3].key":    "seg.key",
+		"a[12].b[0].c":  "a.b.c",
+		"noindex":       "noindex",
+		"trailing[7]":   "trailing",
+		"weird]bracket": "weird]bracket",
+	}
+	for in, want := range cases {
+		if got := NormalizeField(in); got != want {
+			t.Errorf("NormalizeField(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAddDeduplicatesByField(t *testing.T) {
+	s := NewSet()
+	if !s.Add(Race{Benchmark: "b", Field: "seg[0].key"}) {
+		t.Fatal("first add not new")
+	}
+	if s.Add(Race{Benchmark: "b", Field: "seg[5].key"}) {
+		t.Fatal("array elements of the same field not deduplicated")
+	}
+	if !s.Add(Race{Benchmark: "b", Field: "seg[5].value"}) {
+		t.Fatal("different field wrongly deduplicated")
+	}
+	if s.Count() != 2 || s.RawCount != 3 {
+		t.Fatalf("count=%d raw=%d", s.Count(), s.RawCount)
+	}
+}
+
+func TestBenignSeparation(t *testing.T) {
+	s := NewSet()
+	s.Add(Race{Benchmark: "b", Field: "x", Benign: true})
+	s.Add(Race{Benchmark: "b", Field: "y"})
+	if s.Count() != 1 || s.BenignCount() != 1 {
+		t.Fatalf("count=%d benign=%d", s.Count(), s.BenignCount())
+	}
+	if s.Races()[0].Field != "y" || s.Benign()[0].Field != "x" {
+		t.Fatal("benign/harmful misfiled")
+	}
+}
+
+func TestDifferentBenchmarksNotDeduplicated(t *testing.T) {
+	s := NewSet()
+	s.Add(Race{Benchmark: "a", Field: "x"})
+	s.Add(Race{Benchmark: "b", Field: "x"})
+	if s.Count() != 2 {
+		t.Fatalf("count = %d, want 2", s.Count())
+	}
+}
+
+func TestFieldsSorted(t *testing.T) {
+	s := NewSet()
+	s.Add(Race{Benchmark: "b", Field: "zz"})
+	s.Add(Race{Benchmark: "b", Field: "aa"})
+	f := s.Fields()
+	if len(f) != 2 || f[0] != "aa" || f[1] != "zz" {
+		t.Fatalf("Fields = %v", f)
+	}
+}
+
+func TestMergePreservesDedup(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	a.Add(Race{Benchmark: "p", Field: "x"})
+	b.Add(Race{Benchmark: "p", Field: "x"})
+	b.Add(Race{Benchmark: "p", Field: "y"})
+	a.Merge(b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count = %d, want 2", a.Count())
+	}
+}
+
+func TestRaceString(t *testing.T) {
+	r := Race{Benchmark: "cceh", Field: "Pair.key", StoreSeq: 5, StoreTID: 1, ExecID: 0, Flushed: true}
+	s := r.String()
+	for _, want := range []string{"cceh", "Pair.key", "seq=5", "flushed-pre-crash=true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Race.String() = %q missing %q", s, want)
+		}
+	}
+	b := Race{Benign: true}
+	if !strings.Contains(b.String(), "benign") {
+		t.Error("benign race string missing 'benign'")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet()
+	s.Add(Race{Benchmark: "b", Field: "x"})
+	s.Add(Race{Benchmark: "b", Field: "g", Benign: true})
+	out := s.String()
+	if !strings.Contains(out, "x") || !strings.Contains(out, "g") {
+		t.Fatalf("Set.String = %q", out)
+	}
+}
+
+// Property: Add is idempotent per normalized key and Count never exceeds
+// RawCount.
+func TestAddProperties(t *testing.T) {
+	f := func(fields []string) bool {
+		s := NewSet()
+		for _, fl := range fields {
+			s.Add(Race{Benchmark: "b", Field: fl})
+		}
+		if s.Count()+s.BenignCount() > s.RawCount && len(fields) > 0 {
+			return false
+		}
+		before := s.Count()
+		for _, fl := range fields {
+			s.Add(Race{Benchmark: "b", Field: fl})
+		}
+		return s.Count() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBenignAndHarmfulSameFieldCoexist(t *testing.T) {
+	s := NewSet()
+	s.Add(Race{Benchmark: "b", Field: "x", Benign: true})
+	s.Add(Race{Benchmark: "b", Field: "x"})
+	if s.Count() != 1 || s.BenignCount() != 1 {
+		t.Fatalf("counts = %d/%d, want 1/1 (benign and harmful are distinct keys)", s.Count(), s.BenignCount())
+	}
+}
+
+func TestWitnessSurvivesDedupButNotOverwritten(t *testing.T) {
+	s := NewSet()
+	s.Add(Race{Benchmark: "b", Field: "x", Witness: "first"})
+	s.Add(Race{Benchmark: "b", Field: "x", Witness: "second"})
+	if got := s.Races()[0].Witness; got != "first" {
+		t.Fatalf("witness = %q, want the first-seen one", got)
+	}
+	s.AttachWitnesses(func(r Race) string { return "attached" })
+	if got := s.Races()[0].Witness; got != "first" {
+		t.Fatalf("AttachWitnesses overwrote an existing witness: %q", got)
+	}
+	s.Add(Race{Benchmark: "b", Field: "y"})
+	s.AttachWitnesses(func(r Race) string { return "attached-" + r.Field })
+	for _, r := range s.Races() {
+		if r.Field == "y" && r.Witness != "attached-y" {
+			t.Fatalf("missing witness not attached: %+v", r)
+		}
+	}
+}

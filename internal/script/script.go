@@ -1,0 +1,477 @@
+// Package script parses a small text format describing persistent-memory
+// programs and turns it into runnable pmm.Programs, so the yashme CLI can
+// check user-written PM code without recompiling anything — the stand-in
+// for pointing the original tool's LLVM pass at your own program.
+//
+// Format (line-based, '#' comments):
+//
+//	program figure1
+//
+//	alloc pmobj val:8 flag:8      # a struct with named, sized fields
+//	array seg 16 key:8 value:8    # an array of 16 structs
+//	init pmobj.val 0              # fully-persisted initial value
+//
+//	thread                        # one pre-crash worker (repeatable)
+//	  store pmobj.val 0x1234567812345678
+//	  clflush pmobj.val
+//
+//	post                          # the recovery procedure (repeatable for
+//	  load pmobj.val              # multithreaded recovery)
+//
+// Operations: store / storerel / storeatomic ADDR VALUE;
+// load / loadacq ADDR; cas ADDR OLD NEW; clflush / clwb / clflushopt ADDR;
+// sfence; mfence; persist ADDR; memset NAME BYTE; yield;
+// guard { ... } (checksum-validation reads). ADDR is name.field or
+// name[idx].field; VALUE is decimal or 0x-hex.
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"yashme/internal/pmm"
+)
+
+// Script is a parsed program description.
+type Script struct {
+	Name    string
+	allocs  []allocDecl
+	inits   []initDecl
+	threads [][]stmt
+	post    [][]stmt
+}
+
+type allocDecl struct {
+	name   string
+	count  int // 0 = plain struct
+	layout pmm.Layout
+	line   int
+}
+
+type initDecl struct {
+	ref  addrRef
+	val  uint64
+	line int
+}
+
+type addrRef struct {
+	obj   string
+	index int // -1 = not an array access
+	field string
+}
+
+func (r addrRef) String() string {
+	if r.index >= 0 {
+		return fmt.Sprintf("%s[%d].%s", r.obj, r.index, r.field)
+	}
+	return r.obj + "." + r.field
+}
+
+type stmt struct {
+	op   string
+	addr addrRef
+	obj  string // for memset
+	args []uint64
+	line int
+	// guard marks statements inside a guard block.
+	guard bool
+}
+
+// ParseError is a script syntax or semantic error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("script: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads the script source.
+func Parse(src string) (*Script, error) {
+	sc := &Script{Name: "script"}
+	var cur *[]stmt
+	inGuard := false
+	for lineNo, raw := range strings.Split(src, "\n") {
+		n := lineNo + 1
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "program":
+			if len(fields) != 2 {
+				return nil, errf(n, "usage: program NAME")
+			}
+			sc.Name = fields[1]
+		case "alloc", "array":
+			decl, err := parseAlloc(fields, n)
+			if err != nil {
+				return nil, err
+			}
+			sc.allocs = append(sc.allocs, decl)
+		case "init":
+			if len(fields) != 3 {
+				return nil, errf(n, "usage: init OBJ.FIELD VALUE")
+			}
+			ref, err := parseAddr(fields[1], n)
+			if err != nil {
+				return nil, err
+			}
+			v, err := parseVal(fields[2], n)
+			if err != nil {
+				return nil, err
+			}
+			sc.inits = append(sc.inits, initDecl{ref: ref, val: v, line: n})
+		case "thread":
+			sc.threads = append(sc.threads, nil)
+			cur = &sc.threads[len(sc.threads)-1]
+			inGuard = false
+		case "post":
+			sc.post = append(sc.post, nil)
+			cur = &sc.post[len(sc.post)-1]
+			inGuard = false
+		case "guard":
+			if cur == nil {
+				return nil, errf(n, "guard outside a thread/post block")
+			}
+			if len(fields) != 2 || fields[1] != "{" {
+				return nil, errf(n, "usage: guard {")
+			}
+			inGuard = true
+		case "}":
+			if !inGuard {
+				return nil, errf(n, "unmatched }")
+			}
+			inGuard = false
+		default:
+			if cur == nil {
+				return nil, errf(n, "statement %q outside a thread/post block", fields[0])
+			}
+			st, err := parseStmt(fields, n)
+			if err != nil {
+				return nil, err
+			}
+			st.guard = inGuard
+			*cur = append(*cur, st)
+		}
+	}
+	if inGuard {
+		return nil, errf(0, "unclosed guard block")
+	}
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func parseAlloc(fields []string, n int) (allocDecl, error) {
+	decl := allocDecl{line: n}
+	idx := 1
+	if fields[0] == "array" {
+		if len(fields) < 4 {
+			return decl, errf(n, "usage: array NAME COUNT field:size ...")
+		}
+		decl.name = fields[1]
+		cnt, err := strconv.Atoi(fields[2])
+		if err != nil || cnt <= 0 {
+			return decl, errf(n, "bad array count %q", fields[2])
+		}
+		decl.count = cnt
+		idx = 3
+	} else {
+		if len(fields) < 3 {
+			return decl, errf(n, "usage: alloc NAME field:size ...")
+		}
+		decl.name = fields[1]
+		idx = 2
+	}
+	for _, f := range fields[idx:] {
+		parts := strings.SplitN(f, ":", 2)
+		if len(parts) != 2 {
+			return decl, errf(n, "bad field %q (want name:size)", f)
+		}
+		size, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return decl, errf(n, "bad field size in %q", f)
+		}
+		switch size {
+		case 1, 2, 4, 8:
+		default:
+			return decl, errf(n, "field size must be 1, 2, 4 or 8 (got %d)", size)
+		}
+		decl.layout = append(decl.layout, pmm.FieldDef{Name: parts[0], Size: size})
+	}
+	return decl, nil
+}
+
+func parseAddr(s string, n int) (addrRef, error) {
+	ref := addrRef{index: -1}
+	dot := strings.LastIndexByte(s, '.')
+	if dot <= 0 || dot == len(s)-1 {
+		return ref, errf(n, "bad address %q (want OBJ.FIELD)", s)
+	}
+	ref.field = s[dot+1:]
+	obj := s[:dot]
+	if br := strings.IndexByte(obj, '['); br >= 0 {
+		if !strings.HasSuffix(obj, "]") {
+			return ref, errf(n, "bad array index in %q", s)
+		}
+		idx, err := strconv.Atoi(obj[br+1 : len(obj)-1])
+		if err != nil || idx < 0 {
+			return ref, errf(n, "bad array index in %q", s)
+		}
+		ref.index = idx
+		obj = obj[:br]
+	}
+	ref.obj = obj
+	return ref, nil
+}
+
+func parseVal(s string, n int) (uint64, error) {
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, errf(n, "bad value %q", s)
+	}
+	return v, nil
+}
+
+func parseStmt(fields []string, n int) (stmt, error) {
+	st := stmt{op: fields[0], line: n, addr: addrRef{index: -1}}
+	needAddr := func() error {
+		ref, err := parseAddr(fields[1], n)
+		if err != nil {
+			return err
+		}
+		st.addr = ref
+		return nil
+	}
+	needVals := func(k int) error {
+		for _, f := range fields[2 : 2+k] {
+			v, err := parseVal(f, n)
+			if err != nil {
+				return err
+			}
+			st.args = append(st.args, v)
+		}
+		return nil
+	}
+	switch st.op {
+	case "store", "storerel", "storeatomic":
+		if len(fields) != 3 {
+			return st, errf(n, "usage: %s ADDR VALUE", st.op)
+		}
+		if err := needAddr(); err != nil {
+			return st, err
+		}
+		return st, needVals(1)
+	case "cas":
+		if len(fields) != 4 {
+			return st, errf(n, "usage: cas ADDR OLD NEW")
+		}
+		if err := needAddr(); err != nil {
+			return st, err
+		}
+		return st, needVals(2)
+	case "load", "loadacq", "clflush", "clwb", "clflushopt", "persist":
+		if len(fields) != 2 {
+			return st, errf(n, "usage: %s ADDR", st.op)
+		}
+		return st, needAddr()
+	case "sfence", "mfence", "yield":
+		if len(fields) != 1 {
+			return st, errf(n, "%s takes no operands", st.op)
+		}
+		return st, nil
+	case "memset":
+		if len(fields) != 3 {
+			return st, errf(n, "usage: memset OBJ BYTE")
+		}
+		st.obj = fields[1]
+		v, err := parseVal(fields[2], n)
+		if err != nil {
+			return st, err
+		}
+		if v > 0xFF {
+			return st, errf(n, "memset byte out of range")
+		}
+		st.args = []uint64{v}
+		return st, nil
+	}
+	return st, errf(n, "unknown operation %q", st.op)
+}
+
+// validate checks that every referenced object and field exists.
+func (sc *Script) validate() error {
+	if len(sc.threads) == 0 {
+		return errf(0, "no thread block")
+	}
+	decls := map[string]allocDecl{}
+	for _, d := range sc.allocs {
+		if _, dup := decls[d.name]; dup {
+			return errf(d.line, "duplicate allocation %q", d.name)
+		}
+		decls[d.name] = d
+	}
+	checkRef := func(ref addrRef, line int) error {
+		d, ok := decls[ref.obj]
+		if !ok {
+			return errf(line, "unknown object %q", ref.obj)
+		}
+		if ref.index >= 0 && (d.count == 0 || ref.index >= d.count) {
+			return errf(line, "index %d out of range for %q", ref.index, ref.obj)
+		}
+		if ref.index < 0 && d.count > 0 {
+			return errf(line, "%q is an array; use %s[i].%s", ref.obj, ref.obj, ref.field)
+		}
+		for _, f := range d.layout {
+			if f.Name == ref.field {
+				return nil
+			}
+		}
+		return errf(line, "object %q has no field %q", ref.obj, ref.field)
+	}
+	for _, ini := range sc.inits {
+		if err := checkRef(ini.ref, ini.line); err != nil {
+			return err
+		}
+	}
+	for _, blocks := range [][][]stmt{sc.threads, sc.post} {
+		for _, block := range blocks {
+			for _, st := range block {
+				if st.obj != "" {
+					if _, ok := decls[st.obj]; !ok {
+						return errf(st.line, "unknown object %q", st.obj)
+					}
+					continue
+				}
+				if st.addr.obj != "" {
+					if err := checkRef(st.addr, st.line); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MakeProgram returns the engine-compatible constructor.
+func (sc *Script) MakeProgram() func() pmm.Program {
+	return func() pmm.Program {
+		structs := map[string]pmm.Struct{}
+		arrays := map[string]pmm.Array{}
+		sizes := map[string]int{}
+		resolve := func(ref addrRef) (pmm.Addr, int) {
+			var s pmm.Struct
+			if ref.index >= 0 {
+				s = arrays[ref.obj].At(ref.index)
+			} else {
+				s = structs[ref.obj]
+			}
+			return s.Field(ref.field)
+		}
+		run := func(block []stmt) func(*pmm.Thread) {
+			return func(t *pmm.Thread) {
+				for _, st := range block {
+					if st.guard {
+						st := st
+						t.ChecksumGuard(func() { sc.exec(t, st, resolve, structs, arrays, sizes) })
+					} else {
+						sc.exec(t, st, resolve, structs, arrays, sizes)
+					}
+				}
+			}
+		}
+		var workers, post []func(*pmm.Thread)
+		for _, b := range sc.threads {
+			workers = append(workers, run(b))
+		}
+		for _, b := range sc.post {
+			post = append(post, run(b))
+		}
+		return pmm.Program{
+			Name: sc.Name,
+			Setup: func(h *pmm.Heap) {
+				for _, d := range sc.allocs {
+					if d.count > 0 {
+						arrays[d.name] = h.AllocArray(d.name, d.layout, d.count)
+						sizes[d.name] = arrays[d.name].Stride() * d.count
+					} else {
+						structs[d.name] = h.AllocStruct(d.name, d.layout)
+						sizes[d.name] = structs[d.name].Size()
+					}
+				}
+				for _, ini := range sc.inits {
+					var s pmm.Struct
+					if ini.ref.index >= 0 {
+						s = arrays[ini.ref.obj].At(ini.ref.index)
+					} else {
+						s = structs[ini.ref.obj]
+					}
+					addr, size := s.Field(ini.ref.field)
+					h.Init(addr, size, ini.val)
+				}
+			},
+			Workers:          workers,
+			PostCrashWorkers: post,
+		}
+	}
+}
+
+func (sc *Script) exec(t *pmm.Thread, st stmt, resolve func(addrRef) (pmm.Addr, int),
+	structs map[string]pmm.Struct, arrays map[string]pmm.Array, sizes map[string]int) {
+	switch st.op {
+	case "store":
+		a, size := resolve(st.addr)
+		t.Store(a, size, st.args[0])
+	case "storerel":
+		a, size := resolve(st.addr)
+		t.StoreRelease(a, size, st.args[0])
+	case "storeatomic":
+		a, size := resolve(st.addr)
+		t.StoreAtomic(a, size, st.args[0])
+	case "load":
+		a, size := resolve(st.addr)
+		t.Load(a, size)
+	case "loadacq":
+		a, size := resolve(st.addr)
+		t.LoadAcquire(a, size)
+	case "cas":
+		a, size := resolve(st.addr)
+		t.CAS(a, size, st.args[0], st.args[1])
+	case "clflush":
+		a, _ := resolve(st.addr)
+		t.CLFlush(a)
+	case "clwb":
+		a, _ := resolve(st.addr)
+		t.CLWB(a)
+	case "clflushopt":
+		a, _ := resolve(st.addr)
+		t.CLFlushOpt(a)
+	case "persist":
+		a, size := resolve(st.addr)
+		t.Persist(a, size)
+	case "sfence":
+		t.SFence()
+	case "mfence":
+		t.MFence()
+	case "yield":
+		t.Yield()
+	case "memset":
+		var base pmm.Addr
+		if s, ok := structs[st.obj]; ok {
+			base = s.Base()
+		} else {
+			base = arrays[st.obj].Base()
+		}
+		t.Memset(base, sizes[st.obj], byte(st.args[0]))
+	}
+}

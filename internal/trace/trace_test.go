@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"yashme/internal/pmm"
+	"yashme/internal/tso"
+	"yashme/internal/vclock"
+)
+
+func TestRecorderForwardsAndRecords(t *testing.T) {
+	r := NewRecorder(nil, nil)
+	m := tso.NewMachine(r)
+	m.EnqueueStore(0, 0x100, 8, 42, false, false)
+	m.EnqueueCLFlush(0, 0x100)
+	m.EnqueueCLWB(0, 0x140)
+	m.EnqueueSFence(0)
+	m.DrainSB(0)
+
+	kinds := map[Kind]int{}
+	for _, e := range r.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds[KStore] != 1 || kinds[KCLFlush] != 1 || kinds[KCLWBBuffered] != 1 ||
+		kinds[KCLWBPersisted] != 1 || kinds[KFence] != 1 {
+		t.Fatalf("event kinds = %v", kinds)
+	}
+}
+
+func TestRecorderUsesLabeler(t *testing.T) {
+	h := pmm.NewHeap()
+	s := h.AllocStruct("obj", pmm.Layout{{Name: "x", Size: 8}})
+	r := NewRecorder(nil, h.LabelFor)
+	m := tso.NewMachine(r)
+	m.EnqueueStore(0, s.F("x"), 8, 7, false, false)
+	m.DrainSB(0)
+	out := r.Render()
+	if !strings.Contains(out, "obj.x") {
+		t.Fatalf("render missing field label:\n%s", out)
+	}
+}
+
+func TestCrashAndObserveEvents(t *testing.T) {
+	r := NewRecorder(nil, nil)
+	r.SetExec(0)
+	m := tso.NewMachine(r)
+	m.EnqueueStore(0, 0x100, 8, 1, false, false)
+	m.DrainSB(0)
+	r.Crash(m.CurSeq())
+	r.SetExec(1)
+	r.Observe(0, 0x100, 1, 0, 1, false)
+
+	out := r.Render()
+	if !strings.Contains(out, "CRASH") {
+		t.Fatalf("missing crash marker:\n%s", out)
+	}
+	if !strings.Contains(out, "read 0x100 -> 0x1 (from e0 σ1)") {
+		t.Fatalf("missing observation:\n%s", out)
+	}
+}
+
+func TestWitnessSelectsLineEvents(t *testing.T) {
+	r := NewRecorder(nil, nil)
+	m := tso.NewMachine(r)
+	m.EnqueueStore(0, 0x100, 8, 1, false, false)  // same line as racing store
+	m.EnqueueStore(0, 0x108, 8, 2, false, false)  // the racing store (σ2)
+	m.EnqueueStore(0, 0x4000, 8, 3, false, false) // unrelated line
+	m.EnqueueCLFlush(0, 0x100)
+	m.DrainSB(0)
+	r.Crash(m.CurSeq())
+	r.SetExec(1)
+	r.Observe(0, 0x108, 2, 0, 2, false)
+
+	w := r.Witness(0, 2, 0x108)
+	if !strings.Contains(w, "* ") {
+		t.Fatalf("racing store not marked:\n%s", w)
+	}
+	if strings.Contains(w, "0x4000") {
+		t.Fatalf("unrelated line leaked into witness:\n%s", w)
+	}
+	if !strings.Contains(w, "clflush") || !strings.Contains(w, "CRASH") || !strings.Contains(w, "> ") {
+		t.Fatalf("witness missing flush/crash/observation:\n%s", w)
+	}
+}
+
+func TestGuardedObservationMarked(t *testing.T) {
+	r := NewRecorder(nil, nil)
+	r.Observe(0, 0x100, 5, 0, 1, true)
+	if !strings.Contains(r.Render(), "checksum-guarded") {
+		t.Fatal("guarded observation not marked")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KStore: "store", KCLFlush: "clflush", KCLWBBuffered: "clwb",
+		KCLWBPersisted: "clwb-persisted", KFence: "fence", KCrash: "CRASH", KLoad: "read",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestAtomicReleaseRendering(t *testing.T) {
+	r := NewRecorder(nil, nil)
+	m := tso.NewMachine(r)
+	m.EnqueueStore(0, 0x100, 8, 1, true, true)
+	m.DrainSB(0)
+	if !strings.Contains(r.Render(), "atomic-release") {
+		t.Fatalf("release store not annotated:\n%s", r.Render())
+	}
+}
+
+func TestRecorderForwardsToInner(t *testing.T) {
+	var got int
+	inner := countingListener{&got}
+	r := NewRecorder(inner, nil)
+	m := tso.NewMachine(r)
+	m.EnqueueStore(0, 0x100, 8, 1, false, false)
+	m.DrainSB(0)
+	if got != 1 {
+		t.Fatalf("inner listener saw %d stores, want 1", got)
+	}
+}
+
+type countingListener struct{ stores *int }
+
+func (c countingListener) StoreCommitted(*tso.CommittedStore)                           { *c.stores++ }
+func (c countingListener) CLFlushCommitted(vclock.TID, pmm.Addr, vclock.Seq, vclock.VC) {}
+func (c countingListener) CLWBBuffered(vclock.TID, pmm.Addr, vclock.VC)                 {}
+func (c countingListener) CLWBPersisted(tso.FBEntry, vclock.TID, vclock.Seq, vclock.VC) {}
+func (c countingListener) FenceCommitted(vclock.TID, vclock.Seq, vclock.VC)             {}
+
+func TestJSONExport(t *testing.T) {
+	r := NewRecorder(nil, nil)
+	m := tso.NewMachine(r)
+	m.EnqueueStore(0, 0x100, 8, 42, true, true)
+	m.EnqueueCLFlush(0, 0x100)
+	m.DrainSB(0)
+	r.Crash(m.CurSeq())
+	r.SetExec(1)
+	r.Observe(0, 0x100, 42, 0, 1, false)
+
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("exported %d events, want 4", len(events))
+	}
+	if events[0]["kind"] != "store" || events[0]["atomic"] != true {
+		t.Fatalf("first event = %v", events[0])
+	}
+	if events[3]["kind"] != "read" || events[3]["from"] != "e0/σ1" {
+		t.Fatalf("load event = %v", events[3])
+	}
+}

@@ -1,0 +1,350 @@
+// Package tso simulates the x86-TSO storage system with Px86sim persistency
+// operations (Raad et al., POPL 2020), as used by Yashme (ASPLOS '22 §2, §6).
+//
+// Each simulated thread has a store buffer S_τ holding stores, clflush, clwb
+// and sfence operations that have not yet taken effect on the cache, and a
+// flush buffer F_τ holding clwb operations that have left the store buffer
+// but are not yet guaranteed persistent (they need a later fence by the same
+// thread). Store buffers drain in FIFO order into a single global commit
+// order; the global sequence counter σ numbers operations as they commit,
+// exactly as in the paper's Figure 8. Loads bypass: a load first consults the
+// issuing thread's own store buffer.
+//
+// The machine maintains per-thread happens-before clock vectors: committing
+// an operation by thread τ raises CV_τ[τ] to the operation's σ; an atomic
+// release store publishes a snapshot of CV_τ with its committed record; an
+// acquire load joins the publisher's snapshot into the reader's clock.
+// Because a thread's store buffer is FIFO, the clock snapshot taken when a
+// clflush/clwb/sfence commits already covers every same-thread operation
+// that program-order precedes it.
+//
+// The machine does not decide when buffers drain — the engine (the model
+// checker) owns that nondeterminism and calls EvictOne / DrainSB explicitly.
+package tso
+
+import (
+	"fmt"
+
+	"yashme/internal/pmm"
+	"yashme/internal/vclock"
+)
+
+// OpKind labels a store-buffer entry.
+type OpKind int
+
+// Store-buffer entry kinds.
+const (
+	OpStore OpKind = iota
+	OpCLFlush
+	OpCLWB
+	OpSFence
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpStore:
+		return "store"
+	case OpCLFlush:
+		return "clflush"
+	case OpCLWB:
+		return "clwb"
+	case OpSFence:
+		return "sfence"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// SBEntry is one operation buffered in a thread's store buffer.
+type SBEntry struct {
+	Kind    OpKind
+	Addr    pmm.Addr // for stores: the target; for flushes: any address on the line
+	Size    int
+	Val     uint64
+	Atomic  bool
+	Release bool
+}
+
+// FBEntry is a clwb waiting in a thread's flush buffer for a fence.
+type FBEntry struct {
+	Addr pmm.Addr
+	CV   vclock.VC // clock snapshot when the clwb left the store buffer
+	TID  vclock.TID
+}
+
+// CommittedStore is the cache-visible record of a store that left a store
+// buffer. The volatile memory map keeps the latest one per address.
+type CommittedStore struct {
+	Addr    pmm.Addr
+	Size    int
+	Val     uint64
+	TID     vclock.TID
+	Seq     vclock.Seq
+	CV      vclock.VC // happens-before clock at commit (includes this store)
+	Atomic  bool
+	Release bool
+}
+
+// Listener receives commit events in the global commit order. The engine
+// forwards them to the persistency-race detector, which implements the
+// paper's Evict_SB / Evict_FB bookkeeping on top of them.
+type Listener interface {
+	// StoreCommitted fires when a store takes effect on the cache.
+	StoreCommitted(rec *CommittedStore)
+	// CLFlushCommitted fires when a clflush takes effect: the cache line of
+	// addr is flushed to persistent storage at sequence number seq.
+	CLFlushCommitted(tid vclock.TID, addr pmm.Addr, seq vclock.Seq, cv vclock.VC)
+	// CLWBBuffered fires when a clwb leaves the store buffer and enters the
+	// thread's flush buffer (not yet persistent).
+	CLWBBuffered(tid vclock.TID, addr pmm.Addr, cv vclock.VC)
+	// CLWBPersisted fires when a fence evicts a clwb from the flush buffer:
+	// the write-back is now guaranteed persistent.
+	CLWBPersisted(flush FBEntry, fenceTID vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.VC)
+	// FenceCommitted fires for sfence commits and mfence/RMW drains, after
+	// the flush buffer has been processed.
+	FenceCommitted(tid vclock.TID, seq vclock.Seq, cv vclock.VC)
+}
+
+// NopListener is a Listener that ignores every event; it is the "Jaaru only"
+// configuration used to measure detector overhead (paper Table 5).
+type NopListener struct{}
+
+func (NopListener) StoreCommitted(*CommittedStore)                               {}
+func (NopListener) CLFlushCommitted(vclock.TID, pmm.Addr, vclock.Seq, vclock.VC) {}
+func (NopListener) CLWBBuffered(vclock.TID, pmm.Addr, vclock.VC)                 {}
+func (NopListener) CLWBPersisted(FBEntry, vclock.TID, vclock.Seq, vclock.VC)     {}
+func (NopListener) FenceCommitted(vclock.TID, vclock.Seq, vclock.VC)             {}
+
+var _ Listener = NopListener{}
+
+// Machine is one x86-TSO storage system instance. One Machine simulates one
+// execution (pre-crash or post-crash); the engine creates a fresh Machine
+// per execution, seeding its memory from the persisted image.
+type Machine struct {
+	listener Listener
+	seq      vclock.Seq
+
+	sb map[vclock.TID][]SBEntry
+	fb map[vclock.TID][]FBEntry
+	cv map[vclock.TID]vclock.VC
+
+	// mem is the volatile cache/memory view: latest committed store per
+	// address. Initial contents come from the persisted image.
+	mem map[pmm.Addr]*CommittedStore
+}
+
+// NewMachine returns an empty machine reporting to listener.
+func NewMachine(listener Listener) *Machine {
+	if listener == nil {
+		listener = NopListener{}
+	}
+	return &Machine{
+		listener: listener,
+		sb:       make(map[vclock.TID][]SBEntry),
+		fb:       make(map[vclock.TID][]FBEntry),
+		cv:       make(map[vclock.TID]vclock.VC),
+		mem:      make(map[pmm.Addr]*CommittedStore),
+	}
+}
+
+// SeedMemory installs an initial, already-persisted value. Seeded values
+// have Seq 0 and carry no clock: they predate the execution.
+func (m *Machine) SeedMemory(addr pmm.Addr, size int, val uint64) {
+	m.mem[addr] = &CommittedStore{Addr: addr, Size: size, Val: val}
+}
+
+// CurSeq returns the last assigned global sequence number.
+func (m *Machine) CurSeq() vclock.Seq { return m.seq }
+
+// ThreadCV returns (a copy of) the thread's current happens-before clock.
+func (m *Machine) ThreadCV(tid vclock.TID) vclock.VC { return m.threadCV(tid).Clone() }
+
+func (m *Machine) threadCV(tid vclock.TID) vclock.VC {
+	cv, ok := m.cv[tid]
+	if !ok {
+		cv = vclock.New()
+		m.cv[tid] = cv
+	}
+	return cv
+}
+
+// EnqueueStore appends a store to the thread's store buffer.
+func (m *Machine) EnqueueStore(tid vclock.TID, addr pmm.Addr, size int, val uint64, atomic, release bool) {
+	m.sb[tid] = append(m.sb[tid], SBEntry{Kind: OpStore, Addr: addr, Size: size, Val: val, Atomic: atomic, Release: release})
+}
+
+// EnqueueCLFlush appends a clflush; it commits in store-buffer order like a
+// store (Px86sim Table 1: clflush is ordered with respect to writes).
+func (m *Machine) EnqueueCLFlush(tid vclock.TID, addr pmm.Addr) {
+	m.sb[tid] = append(m.sb[tid], SBEntry{Kind: OpCLFlush, Addr: addr})
+}
+
+// EnqueueCLWB appends a clwb; on eviction it moves to the flush buffer and
+// becomes persistent only at the next same-thread fence, modelling clwb /
+// clflushopt reordering freedom.
+func (m *Machine) EnqueueCLWB(tid vclock.TID, addr pmm.Addr) {
+	m.sb[tid] = append(m.sb[tid], SBEntry{Kind: OpCLWB, Addr: addr})
+}
+
+// EnqueueSFence appends an sfence; on eviction it flushes the thread's flush
+// buffer.
+func (m *Machine) EnqueueSFence(tid vclock.TID) {
+	m.sb[tid] = append(m.sb[tid], SBEntry{Kind: OpSFence})
+}
+
+// SBLen returns the number of buffered operations for the thread.
+func (m *Machine) SBLen(tid vclock.TID) int { return len(m.sb[tid]) }
+
+// FBLen returns the number of pending clwb operations for the thread.
+func (m *Machine) FBLen(tid vclock.TID) int { return len(m.fb[tid]) }
+
+// EvictOne pops the oldest store-buffer entry of the thread and commits it.
+// It reports whether an entry was evicted.
+func (m *Machine) EvictOne(tid vclock.TID) bool {
+	buf := m.sb[tid]
+	if len(buf) == 0 {
+		return false
+	}
+	e := buf[0]
+	m.sb[tid] = buf[1:]
+	m.commit(tid, e)
+	return true
+}
+
+// DrainSB commits every buffered entry of the thread in order.
+func (m *Machine) DrainSB(tid vclock.TID) {
+	for m.EvictOne(tid) {
+	}
+}
+
+func (m *Machine) commit(tid vclock.TID, e SBEntry) {
+	switch e.Kind {
+	case OpStore:
+		m.seq++
+		cv := m.threadCV(tid)
+		cv.Set(tid, m.seq)
+		rec := &CommittedStore{
+			Addr: e.Addr, Size: e.Size, Val: e.Val,
+			TID: tid, Seq: m.seq, CV: cv.Clone(),
+			Atomic: e.Atomic, Release: e.Release,
+		}
+		m.mem[e.Addr] = rec
+		m.listener.StoreCommitted(rec)
+	case OpCLFlush:
+		m.seq++
+		cv := m.threadCV(tid)
+		cv.Set(tid, m.seq)
+		m.listener.CLFlushCommitted(tid, e.Addr, m.seq, cv.Clone())
+	case OpCLWB:
+		cv := m.threadCV(tid).Clone()
+		m.fb[tid] = append(m.fb[tid], FBEntry{Addr: e.Addr, CV: cv, TID: tid})
+		m.listener.CLWBBuffered(tid, e.Addr, cv)
+	case OpSFence:
+		m.seq++
+		cv := m.threadCV(tid)
+		cv.Set(tid, m.seq)
+		m.flushFB(tid, m.seq, cv.Clone())
+		m.listener.FenceCommitted(tid, m.seq, cv.Clone())
+	}
+}
+
+// flushFB persists every pending clwb of the thread (Evict_FB in the paper).
+func (m *Machine) flushFB(tid vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.VC) {
+	for _, fbe := range m.fb[tid] {
+		m.listener.CLWBPersisted(fbe, tid, fenceSeq, fenceCV)
+	}
+	m.fb[tid] = nil
+}
+
+// MFence drains the thread's store buffer, persists its flush buffer, and
+// commits the fence (Exec_MFENCE in the paper's Figure 7).
+func (m *Machine) MFence(tid vclock.TID) {
+	m.DrainSB(tid)
+	m.seq++
+	cv := m.threadCV(tid)
+	cv.Set(tid, m.seq)
+	m.flushFB(tid, m.seq, cv.Clone())
+	m.listener.FenceCommitted(tid, m.seq, cv.Clone())
+}
+
+// Load performs a load with store-buffer bypassing. acquire joins the
+// publisher's clock when reading an atomic release store. The returned
+// record is the committed store the load reads from; it is nil when the
+// value comes from the thread's own store buffer or from seeded-but-absent
+// memory (reads of never-written addresses return zero).
+func (m *Machine) Load(tid vclock.TID, addr pmm.Addr, size int, acquire bool) (uint64, *CommittedStore) {
+	v, rec, _ := m.LoadDetail(tid, addr, size, acquire)
+	return v, rec
+}
+
+// LoadDetail is Load with an extra result reporting whether the value came
+// from the thread's own store buffer (bypass). The engine uses it to tell
+// current-execution values apart from values seeded across a crash.
+func (m *Machine) LoadDetail(tid vclock.TID, addr pmm.Addr, size int, acquire bool) (uint64, *CommittedStore, bool) {
+	// Bypass: most recent same-address store in the thread's own buffer.
+	buf := m.sb[tid]
+	for i := len(buf) - 1; i >= 0; i-- {
+		if buf[i].Kind == OpStore && buf[i].Addr == addr {
+			return truncate(buf[i].Val, size), nil, true
+		}
+	}
+	rec, ok := m.mem[addr]
+	if !ok {
+		return 0, nil, false
+	}
+	if acquire && rec.Release {
+		m.threadCV(tid).Join(rec.CV)
+	}
+	return truncate(rec.Val, size), rec, false
+}
+
+// RMW performs a locked read-modify-write: it has full fence semantics
+// (drains the store buffer and flush buffer first), reads the current value,
+// applies f, and — if f elects to write — commits the new value atomically
+// with release semantics and acquire semantics on the read.
+func (m *Machine) RMW(tid vclock.TID, addr pmm.Addr, size int, f func(old uint64) (uint64, bool)) (uint64, bool) {
+	m.MFence(tid)
+	var old uint64
+	if rec, ok := m.mem[addr]; ok {
+		old = truncate(rec.Val, size)
+		if rec.Release {
+			m.threadCV(tid).Join(rec.CV)
+		}
+	}
+	newVal, write := f(old)
+	if write {
+		m.seq++
+		cv := m.threadCV(tid)
+		cv.Set(tid, m.seq)
+		rec := &CommittedStore{
+			Addr: addr, Size: size, Val: truncate(newVal, size),
+			TID: tid, Seq: m.seq, CV: cv.Clone(),
+			Atomic: true, Release: true,
+		}
+		m.mem[addr] = rec
+		m.listener.StoreCommitted(rec)
+	}
+	return old, write
+}
+
+// VolatileValue returns the current cache-visible value at addr (ignoring
+// store buffers), for engine-side image construction.
+func (m *Machine) VolatileValue(addr pmm.Addr) (*CommittedStore, bool) {
+	rec, ok := m.mem[addr]
+	return rec, ok
+}
+
+// Addresses returns every address with a cache-visible value.
+func (m *Machine) Addresses() []pmm.Addr {
+	out := make([]pmm.Addr, 0, len(m.mem))
+	for a := range m.mem {
+		out = append(out, a)
+	}
+	return out
+}
+
+func truncate(v uint64, size int) uint64 {
+	if size >= 8 {
+		return v
+	}
+	return v & ((uint64(1) << (8 * size)) - 1)
+}

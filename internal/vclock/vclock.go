@@ -1,0 +1,123 @@
+// Package vclock implements vector clocks over thread identifiers.
+//
+// Yashme (ASPLOS '22, §6) orders store-buffer evictions with a single global
+// sequence counter σ and summarizes happens-before with clock vectors that
+// map a thread identifier τ to the largest σ of an operation by τ that is
+// ordered before the current point. Because σ is globally unique and strictly
+// increasing, a component-wise comparison against a clock vector answers
+// "does operation (τ, σ) happen before this point?" in O(1).
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TID identifies a simulated thread. Thread 0 is the main thread.
+type TID int
+
+// Seq is a global sequence number assigned to an operation when it takes
+// effect on the (simulated) cache. Zero means "never happened"; the first
+// operation receives Seq 1.
+type Seq uint64
+
+// VC is a vector clock: for each thread τ, the largest Seq of an operation by
+// τ known to happen before the point the clock describes. The zero value is
+// an empty clock ready for use, but callers typically use New.
+//
+// VC values are small maps; Clone before sharing across events.
+type VC map[TID]Seq
+
+// New returns an empty vector clock.
+func New() VC { return make(VC) }
+
+// Get returns the component for τ, zero if absent.
+func (v VC) Get(t TID) Seq {
+	if v == nil {
+		return 0
+	}
+	return v[t]
+}
+
+// Set raises the component for τ to s. Lowering is not permitted; Set panics
+// if s is smaller than the current component, because clock components are
+// monotone by construction (σ increases globally).
+func (v VC) Set(t TID, s Seq) {
+	if cur := v[t]; s < cur {
+		panic(fmt.Sprintf("vclock: component for thread %d would regress from %d to %d", t, cur, s))
+	}
+	v[t] = s
+}
+
+// Join merges other into v, component-wise maximum.
+func (v VC) Join(other VC) {
+	for t, s := range other {
+		if s > v[t] {
+			v[t] = s
+		}
+	}
+}
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	c := make(VC, len(v))
+	for t, s := range v {
+		c[t] = s
+	}
+	return c
+}
+
+// Contains reports whether the operation (t, s) is included in the prefix
+// described by v, i.e. s <= v[t]. An operation with Seq 0 never happened and
+// is trivially contained.
+func (v VC) Contains(t TID, s Seq) bool {
+	if s == 0 {
+		return true
+	}
+	return s <= v.Get(t)
+}
+
+// LeqAll reports whether every component of v is <= the matching component of
+// other (v happens-before-or-equal other).
+func (v VC) LeqAll(other VC) bool {
+	for t, s := range v {
+		if s > other.Get(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Max returns the largest component in v (the newest operation it covers).
+func (v VC) Max() Seq {
+	var m Seq
+	for _, s := range v {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// String renders the clock deterministically, for logs and tests.
+func (v VC) String() string {
+	if len(v) == 0 {
+		return "{}"
+	}
+	tids := make([]int, 0, len(v))
+	for t := range v {
+		tids = append(tids, int(t))
+	}
+	sort.Ints(tids)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range tids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", t, v[TID(t)])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

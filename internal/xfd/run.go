@@ -1,0 +1,150 @@
+package xfd
+
+import (
+	"fmt"
+
+	"yashme/internal/pmm"
+	"yashme/internal/report"
+	"yashme/internal/tso"
+)
+
+// This file is the detector's own small checking harness. Like the original
+// XFDetector, it examines THE GIVEN execution: one sequential pre-failure
+// run per injected failure point, then the recovery — no prefix derivation,
+// no candidate read sets. The deliberately modest exploration is part of
+// the comparison (the paper: "XFDetector is limited to detecting cross
+// failure races in the given execution and cannot detect cross failure
+// races in any other potential executions").
+
+// errFailure unwinds the workload at the injected failure point.
+var errFailure = fmt.Errorf("xfd: injected failure")
+
+// runnerOps drives a pmm program sequentially on a TSO machine, counting
+// flush/fence points and failing before the target one.
+type runnerOps struct {
+	m       *tso.Machine
+	det     *Detector
+	target  int // fail before the Nth flush/fence point (0 = run through)
+	points  int
+	post    bool // post-failure phase: loads are checked
+	guarded bool
+}
+
+var _ pmm.Ops = (*runnerOps)(nil)
+
+func (r *runnerOps) TID() int { return 0 }
+
+func (r *runnerOps) atPoint() {
+	r.points++
+	if r.target > 0 && r.points == r.target {
+		panic(errFailure)
+	}
+}
+
+func (r *runnerOps) Store(a pmm.Addr, size int, v uint64, atomic, release bool) {
+	r.m.EnqueueStore(0, a, size, v, atomic, release)
+	r.m.DrainSB(0)
+}
+
+func (r *runnerOps) Load(a pmm.Addr, size int, atomic, acquire bool) uint64 {
+	if r.post && !r.guarded {
+		r.det.CheckRead(a)
+	}
+	v, _ := r.m.Load(0, a, size, acquire)
+	return v
+}
+
+func (r *runnerOps) RMW(a pmm.Addr, size int, f func(uint64) (uint64, bool)) (uint64, bool) {
+	if !r.post {
+		r.atPoint()
+	}
+	return r.m.RMW(0, a, size, f)
+}
+
+func (r *runnerOps) CLFlush(a pmm.Addr) {
+	if !r.post {
+		r.atPoint()
+	}
+	r.m.EnqueueCLFlush(0, a)
+	r.m.DrainSB(0)
+}
+
+func (r *runnerOps) CLWB(a pmm.Addr) {
+	if !r.post {
+		r.atPoint()
+	}
+	r.m.EnqueueCLWB(0, a)
+	r.m.DrainSB(0)
+}
+
+func (r *runnerOps) SFence() {
+	if !r.post {
+		r.atPoint()
+	}
+	r.m.EnqueueSFence(0)
+	r.m.DrainSB(0)
+}
+
+func (r *runnerOps) MFence() {
+	if !r.post {
+		r.atPoint()
+	}
+	r.m.MFence(0)
+}
+
+func (r *runnerOps) Yield()                  {}
+func (r *runnerOps) SetChecksumGuard(b bool) { r.guarded = b }
+
+// Run checks a program with the cross-failure detector: it injects a
+// failure before every flush/fence point of the sequential execution and
+// classifies every post-failure read. Only single-worker programs are
+// supported (the baseline examines one given execution).
+func Run(makeProg func() pmm.Program) *report.Set {
+	merged := report.NewSet()
+	// Probe for the number of failure points.
+	n := runOnce(makeProg, 0, merged)
+	for c := 1; c <= n; c++ {
+		runOnce(makeProg, c, merged)
+	}
+	return merged
+}
+
+// runOnce runs one failure scenario and merges its reports; it returns the
+// number of failure points the pre-failure execution passed.
+func runOnce(makeProg func() pmm.Program, target int, merged *report.Set) int {
+	prog := makeProg()
+	heap := pmm.NewHeap()
+	if prog.Setup != nil {
+		prog.Setup(heap)
+	}
+	det := New(prog.Name, heap.LabelFor)
+	ops := &runnerOps{det: det, target: target}
+	ops.m = tso.NewMachine(det)
+	for _, w := range heap.InitWrites() {
+		ops.m.SeedMemory(w.Addr, w.Size, w.Val)
+		det.stores[w.Addr] = &storeInfo{state: statePersisted}
+	}
+	th := pmm.NewThread(ops, heap)
+
+	// Pre-failure: run the workers sequentially (the "given execution").
+	func() {
+		defer func() {
+			if r := recover(); r != nil && r != errFailure {
+				panic(r)
+			}
+		}()
+		for _, w := range prog.Workers {
+			w(th)
+		}
+	}()
+
+	// Post-failure: XFDetector resumes on the real PM image; the FSM — not
+	// the values — decides raciness, so the committed state stands in for
+	// the image.
+	ops.post = true
+	for _, rec := range prog.RecoveryWorkers() {
+		rec(th)
+	}
+	merged.Merge(det.Report())
+	return ops.points
+}

@@ -1,0 +1,153 @@
+// Package xfd implements a cross-failure race detector in the style of
+// XFDetector (Liu et al., ASPLOS '20) — the closest prior tool the paper
+// compares against (§1, §8). It exists to make the paper's central
+// comparison executable:
+//
+//	"Cross failure races are different from persistency races in that
+//	cross failure races model normal stores as effectively atomic and do
+//	not consider the possibility that due to compiler optimizations a
+//	store may [be] made partially persistent. Cross failure race detection
+//	cannot detect persistency races because it does not model the effects
+//	of cache coherence or the difference between atomic and normal memory
+//	operations. XFDetector is limited to detecting cross failure races in
+//	the given execution and cannot detect cross failure races in any other
+//	potential executions."
+//
+// A cross-failure race here is: a post-failure load reads data that was NOT
+// persisted before the failure (the store was still volatile — in the cache
+// without a completed flush — at the crash). Stores are treated as atomic
+// units; a store that WAS flushed before the crash is always clean, no
+// matter how the compiler might tear it — which is exactly the blind spot
+// persistency races live in.
+package xfd
+
+import (
+	"yashme/internal/pmm"
+	"yashme/internal/report"
+	"yashme/internal/tso"
+	"yashme/internal/vclock"
+)
+
+// persistState is the per-store commit/persist FSM XFDetector tracks
+// ("a finite state machine to track the consistency and persistency of
+// persistent data").
+type persistState int
+
+const (
+	// stateModified: the store reached the cache but no flush covers it.
+	stateModified persistState = iota
+	// stateWriteback: a clwb covers the store but no fence completed it.
+	stateWriteback
+	// statePersisted: a clflush (or clwb+fence) made the store durable.
+	statePersisted
+)
+
+// storeInfo is the detector's view of the latest store per address.
+type storeInfo struct {
+	seq   vclock.Seq
+	tid   vclock.TID
+	state persistState
+}
+
+// Detector is the cross-failure race detector. It implements tso.Listener
+// for the pre-crash execution; after the crash, CheckRead classifies each
+// post-failure read.
+type Detector struct {
+	benchmark string
+	labeler   func(pmm.Addr) string
+
+	stores map[pmm.Addr]*storeInfo
+	// pendingWB: clwb-covered addresses per thread awaiting a fence.
+	pendingWB map[vclock.TID][]pmm.Addr
+	report    *report.Set
+}
+
+// New returns a detector for one pre-crash execution.
+func New(benchmark string, labeler func(pmm.Addr) string) *Detector {
+	return &Detector{
+		benchmark: benchmark,
+		labeler:   labeler,
+		stores:    make(map[pmm.Addr]*storeInfo),
+		pendingWB: make(map[vclock.TID][]pmm.Addr),
+		report:    report.NewSet(),
+	}
+}
+
+// Report returns the accumulated cross-failure race reports.
+func (d *Detector) Report() *report.Set { return d.report }
+
+// StoreCommitted implements tso.Listener: the address regresses to
+// Modified. Note the FSM is per ADDRESS, not per byte — stores are modelled
+// as atomic units, the blind spot the paper identifies.
+func (d *Detector) StoreCommitted(rec *tso.CommittedStore) {
+	d.stores[rec.Addr] = &storeInfo{seq: rec.Seq, tid: rec.TID, state: stateModified}
+}
+
+// CLFlushCommitted implements tso.Listener: every store on the line is now
+// persisted.
+func (d *Detector) CLFlushCommitted(_ vclock.TID, addr pmm.Addr, _ vclock.Seq, _ vclock.VC) {
+	line := pmm.LineOf(addr)
+	for a, s := range d.stores {
+		if pmm.LineOf(a) == line {
+			s.state = statePersisted
+		}
+	}
+}
+
+// CLWBBuffered implements tso.Listener: stores on the line advance to
+// Writeback, pending the thread's next fence.
+func (d *Detector) CLWBBuffered(tid vclock.TID, addr pmm.Addr, _ vclock.VC) {
+	line := pmm.LineOf(addr)
+	for a, s := range d.stores {
+		if pmm.LineOf(a) == line && s.state == stateModified {
+			s.state = stateWriteback
+			d.pendingWB[tid] = append(d.pendingWB[tid], a)
+		}
+	}
+}
+
+// CLWBPersisted implements tso.Listener: the fence completed the
+// write-back.
+func (d *Detector) CLWBPersisted(flush tso.FBEntry, fenceTID vclock.TID, _ vclock.Seq, _ vclock.VC) {
+	line := pmm.LineOf(flush.Addr)
+	for a, s := range d.stores {
+		if pmm.LineOf(a) == line && s.state == stateWriteback {
+			s.state = statePersisted
+		}
+	}
+}
+
+// FenceCommitted implements tso.Listener: any remaining write-backs of the
+// fencing thread complete.
+func (d *Detector) FenceCommitted(tid vclock.TID, _ vclock.Seq, _ vclock.VC) {
+	for _, a := range d.pendingWB[tid] {
+		if s, ok := d.stores[a]; ok && s.state == stateWriteback {
+			s.state = statePersisted
+		}
+	}
+	d.pendingWB[tid] = nil
+}
+
+var _ tso.Listener = (*Detector)(nil)
+
+// CheckRead classifies a post-failure read of addr: a cross-failure race is
+// reported iff the last pre-crash store to the address was NOT persisted at
+// the crash. Persisted stores are always clean — atomic or not, torn or not
+// — which is why this detector is structurally unable to report a
+// persistency race on a flushed store.
+func (d *Detector) CheckRead(addr pmm.Addr) *report.Race {
+	s, ok := d.stores[addr]
+	if !ok || s.state == statePersisted {
+		return nil
+	}
+	label := d.labeler(addr)
+	r := report.Race{
+		Benchmark: d.benchmark,
+		Field:     label,
+		Addr:      uint64(addr),
+		StoreSeq:  uint64(s.seq),
+		StoreTID:  int(s.tid),
+	}
+	d.report.Add(r)
+	return &r
+}

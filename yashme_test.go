@@ -1,0 +1,55 @@
+package yashme_test
+
+import (
+	"testing"
+
+	"yashme"
+	"yashme/internal/tables"
+)
+
+// The public facade detects the Figure 1 race end to end.
+func TestFacadeDetectsFigure1(t *testing.T) {
+	res := yashme.Run(figure1, yashme.Options{Mode: yashme.ModelCheck, Prefix: true})
+	races := res.Report.Races()
+	if len(races) != 1 || races[0].Field != "pmobj.val" {
+		t.Fatalf("races = %v", races)
+	}
+}
+
+func TestFacadeRunOnce(t *testing.T) {
+	res := yashme.RunOnce(figure1, yashme.Options{Prefix: true}, 0, yashme.PersistLatest, 1)
+	if res.ExecutionsRun != 1 {
+		t.Fatalf("RunOnce executed %d scenarios, want 1", res.ExecutionsRun)
+	}
+	if res.Report.Count() != 1 {
+		t.Fatalf("RunOnce races = %d, want 1 (flushed store still races under prefix)", res.Report.Count())
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if yashme.CacheLineSize != 64 {
+		t.Fatalf("CacheLineSize = %d", yashme.CacheLineSize)
+	}
+	if yashme.ModelCheck == yashme.RandomMode {
+		t.Fatal("modes not distinct")
+	}
+}
+
+// The paper's headline result: 24 real persistency races across all
+// benchmarks (19 in the indexes + 5 in the frameworks), plus the zero-race
+// P-CLHT control ("found persistency bugs in all but one of the programs").
+func TestHeadline24Races(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	t3 := tables.Table3()
+	t4 := tables.Table4()
+	if got := len(t3) + len(t4); got != 24 {
+		t.Fatalf("total races = %d (%d + %d), paper reports 24", got, len(t3), len(t4))
+	}
+	for _, r := range t3 {
+		if r.Benchmark == "P-CLHT" {
+			t.Fatalf("P-CLHT must be the race-free control, found %v", r)
+		}
+	}
+}
