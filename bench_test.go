@@ -9,6 +9,7 @@
 package yashme_test
 
 import (
+	"runtime"
 	"testing"
 
 	"yashme"
@@ -71,6 +72,28 @@ func BenchmarkTable3(b *testing.B) {
 		races = len(tables.Table3())
 	}
 	b.ReportMetric(float64(races), "races")
+}
+
+// BenchmarkTable3Parallel (E17): the Table 3 model-checking sweep on 1, 4
+// and GOMAXPROCS engine workers. Race counts are identical across worker
+// counts (the plan/execute/merge determinism contract); only wall-clock
+// changes.
+func BenchmarkTable3Parallel(b *testing.B) {
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			races := 0
+			for i := 0; i < b.N; i++ {
+				races = 0
+				for _, spec := range tables.IndexSpecs() {
+					res := engine.Run(spec.Make, engine.Options{
+						Mode: engine.ModelCheck, Prefix: true, Workers: workers})
+					races += res.Report.Count()
+				}
+			}
+			b.ReportMetric(float64(races), "races")
+		})
+	}
 }
 
 // BenchmarkTable4 (E5): random-mode sweep of PMDK, Memcached, Redis;

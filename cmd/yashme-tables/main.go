@@ -21,8 +21,10 @@ import (
 func main() {
 	which := flag.String("table", "all", "table to print: 2a | 2b | 3 | 4 | 5 | window | bugs | benign | all")
 	format := flag.String("format", "text", "output format: text | markdown (2b, 3, 4 and 5 only)")
+	workers := flag.Int("workers", 0, "crash scenarios run concurrently (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	flag.Parse()
 	md := *format == "markdown"
+	tables.Workers = *workers
 
 	emit := func(name string) bool { return *which == "all" || *which == name }
 	printed := false

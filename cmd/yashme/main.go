@@ -10,6 +10,7 @@
 //	yashme -bench Memcached -mode random -executions 40 -seed 7
 //	yashme -bench Fast_Fair -prefix=false        # Table 5 baseline
 //	yashme -bench Redis -benign                  # include benign races
+//	yashme -bench CCEH -workers 1                # sequential (identical results)
 //	yashme -file prog.ym -witness                # check a script (internal/script format)
 package main
 
@@ -42,6 +43,7 @@ func main() {
 		suppress   = flag.String("suppress", "", "comma-separated field labels whose races are annotated away (§7.5)")
 		schedules  = flag.Int("schedules", 1, "model-check: number of distinct thread schedules to explore")
 		reads      = flag.Bool("explore-reads", false, "model-check: explore per-line persist-point read choices (Jaaru-style)")
+		workers    = flag.Int("workers", 0, "crash scenarios run concurrently (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	)
 	flag.Parse()
 
@@ -93,6 +95,7 @@ func main() {
 		EADR:           *eadr,
 		Schedules:      *schedules,
 		ExploreReads:   *reads,
+		Workers:        *workers,
 	}
 	if *suppress != "" {
 		opts.Suppress = strings.Split(*suppress, ",")

@@ -48,6 +48,7 @@ func main() {
 		Mode:       yashme.ModelCheck,
 		Prefix:     true,
 		TornValues: true,
+		Workers:    1, // the observed slice is shared across program instances
 	})
 
 	fmt.Printf("explored %d executions (%d crash points)\n", res.ExecutionsRun, res.CrashPoints)

@@ -21,12 +21,10 @@ package engine
 
 import (
 	"fmt"
-	"math/rand"
-	"sort"
+	"runtime"
 
 	"yashme/internal/pmm"
 	"yashme/internal/report"
-	"yashme/internal/vclock"
 )
 
 // Mode selects how executions and crash points are explored (paper §4:
@@ -102,6 +100,18 @@ type Options struct {
 	// post-crash execution observes each value the line could have held.
 	// Capped at ReadChoiceCap extra scenarios per crash point.
 	ExploreReads bool
+	// ReadChoiceCap bounds the extra read-exploration scenarios per crash
+	// point (0 = DefaultReadChoiceCap). Big sweeps can raise it to chase
+	// deep value-dependent recovery paths, or lower it to bound cost.
+	ReadChoiceCap int
+	// Workers is the number of crash scenarios executed concurrently
+	// (0 = runtime.GOMAXPROCS(0); 1 = fully sequential). Results are
+	// byte-identical for every worker count: scenarios are isolated and
+	// merged in plan order. With Workers > 1, makeProg and the program's
+	// callbacks must be safe for concurrent instantiation — programs that
+	// record observations through shared captured variables should set
+	// Workers to 1.
+	Workers int
 	// PersistPolicies are the image policies explored per crash point in
 	// ModelCheck (default: latest then minimal). RandomMode always uses
 	// PersistRandom.
@@ -141,6 +151,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.ReadChoiceCap <= 0 {
+		o.ReadChoiceCap = DefaultReadChoiceCap
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -192,18 +208,17 @@ type Result struct {
 
 // Run explores a program per the options and returns the merged reports.
 // makeProg must return a fresh program instance per call (scenario state is
-// captured in the program's closures).
+// captured in the program's closures); with Options.Workers > 1 (the
+// default follows GOMAXPROCS) it is called from several goroutines
+// concurrently. Exploration is layered — plan, execute, merge (see
+// explore.go) — and the Result is byte-identical for every worker count.
 func Run(makeProg func() pmm.Program, opts Options) *Result {
 	opts = opts.withDefaults()
-	res := &Result{Report: report.NewSet()}
-	switch opts.Mode {
-	case ModelCheck:
-		runModelCheck(makeProg, opts, res)
-	case RandomMode:
-		runRandom(makeProg, opts, res)
-	default:
+	if opts.Mode != ModelCheck && opts.Mode != RandomMode {
 		panic(fmt.Sprintf("engine: unknown mode %d", opts.Mode))
 	}
+	res := &Result{Report: report.NewSet()}
+	runExplore(makeProg, opts, res)
 	return res
 }
 
@@ -221,125 +236,9 @@ func RunOne(makeProg func() pmm.Program, opts Options, crashPoint int, pp Persis
 	return res
 }
 
-func runModelCheck(makeProg func() pmm.Program, opts Options, res *Result) {
-	for sched := 0; sched < opts.Schedules; sched++ {
-		runModelCheckSchedule(makeProg, opts, res, opts.Seed+int64(sched), sched == 0)
-	}
-}
-
-// runModelCheckSchedule model-checks one deterministic schedule: it probes
-// the schedule's crash points and injects a crash before each of them.
-// ReadChoiceCap bounds the extra read-exploration scenarios per crash
-// point.
-const ReadChoiceCap = 24
-
-func runModelCheckSchedule(makeProg func() pmm.Program, opts Options, res *Result, seed int64, recordWindow bool) {
-	// Probe: one run with no crash to count the flush/fence points of the
-	// deterministic schedule.
-	probe := newScenario(makeProg, opts, plan{}, PersistLatest, seed)
-	probe.run()
-	n := probe.crashPoints[0]
-	if recordWindow {
-		res.CrashPoints = n
-	}
-
-	limit := n
-	if opts.MaxCrashPoints > 0 && limit > opts.MaxCrashPoints {
-		limit = opts.MaxCrashPoints
-	}
-	// c = 0 means "crash at completion" (power loss after the workload
-	// finishes but before any further flushing).
-	for c := 0; c <= limit; c++ {
-		point := PointStat{Point: c}
-		for ppIdx, pp := range opts.PersistPolicies {
-			sc := newScenario(makeProg, opts, plan{0: c}, pp, seed)
-			if opts.ExploreReads && ppIdx == 0 {
-				sc.lineChoices = make(map[pmm.Line]vclockSeqs)
-			}
-			sc.run()
-			if n := sc.det.Report().Count(); n > point.Races {
-				point.Races = n
-			}
-			res.absorb(sc)
-			if opts.ExploreReads && ppIdx == 0 {
-				exploreReadChoices(makeProg, opts, res, seed, c, sc.lineChoices, &point)
-			}
-			if opts.RecoveryCrashes > 0 {
-				m := sc.crashPoints[1]
-				if m > opts.RecoveryCrashes {
-					m = opts.RecoveryCrashes
-				}
-				for rc := 1; rc <= m; rc++ {
-					rsc := newScenario(makeProg, opts, plan{0: c, 1: rc}, pp, seed)
-					rsc.run()
-					res.absorb(rsc)
-				}
-			}
-		}
-		if recordWindow {
-			res.Window = append(res.Window, point)
-		}
-	}
-}
-
-// vclockSeqs is the per-line candidate list type (alias keeps the scenario
-// struct readable).
-type vclockSeqs = []vclock.Seq
-
-// exploreReadChoices re-runs a crash point once per (line, persist-point)
-// pair, pinning that line to that choice so the post-crash execution
-// actually observes every candidate value (Jaaru's constraint-based read
-// exploration, bounded by ReadChoiceCap).
-func exploreReadChoices(makeProg func() pmm.Program, opts Options, res *Result, seed int64, c int,
-	lineChoices map[pmm.Line]vclockSeqs, point *PointStat) {
-
-	// Deterministic line order.
-	var lines []pmm.Line
-	for l := range lineChoices {
-		lines = append(lines, l)
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-	budget := ReadChoiceCap
-	for _, line := range lines {
-		for _, choice := range lineChoices[line] {
-			if budget == 0 {
-				return
-			}
-			budget--
-			sc := newScenario(makeProg, opts, plan{0: c}, PersistLatest, seed)
-			sc.persistOverride = map[pmm.Line]vclock.Seq{line: choice}
-			sc.run()
-			if n := sc.det.Report().Count(); n > point.Races {
-				point.Races = n
-			}
-			res.absorb(sc)
-		}
-	}
-}
-
-func runRandom(makeProg func() pmm.Program, opts Options, res *Result) {
-	rng := rand.New(rand.NewSource(opts.Seed))
-	for i := 0; i < opts.Executions; i++ {
-		schedSeed := rng.Int63()
-		// Probe with this schedule to count its crash points, then re-run
-		// the identical schedule crashing before a random one of them.
-		probe := newScenario(makeProg, opts, plan{}, PersistRandom, schedSeed)
-		probe.run()
-		n := probe.crashPoints[0]
-		res.CrashPoints += n
-		c := 0
-		if n > 0 {
-			c = 1 + rng.Intn(n)
-		}
-		p := plan{0: c}
-		if opts.RecoveryCrashes > 0 && rng.Intn(2) == 0 {
-			p[1] = 1 + rng.Intn(opts.RecoveryCrashes)
-		}
-		sc := newScenario(makeProg, opts, p, PersistRandom, schedSeed)
-		sc.run()
-		res.absorb(sc)
-	}
-}
+// DefaultReadChoiceCap is the Options.ReadChoiceCap applied when the field
+// is zero: the bound on extra read-exploration scenarios per crash point.
+const DefaultReadChoiceCap = 24
 
 func (res *Result) absorb(sc *scenario) {
 	res.Report.Merge(sc.det.Report())

@@ -71,8 +71,9 @@ func TestPrefixExpandsDetectionWindow(t *testing.T) {
 
 func TestTornValueSynthesis(t *testing.T) {
 	var observed []uint64
+	// Workers: 1 — the program writes the shared observed slice.
 	Run(figure1(&observed), Options{Mode: ModelCheck, Prefix: true, TornValues: true,
-		PersistPolicies: []PersistPolicy{PersistLatest}})
+		PersistPolicies: []PersistPolicy{PersistLatest}, Workers: 1})
 	// Crashing before the clflush and persisting the (racing) store yields
 	// the torn value: low half of the new value, high half of the old (0).
 	want := uint64(0x12345678)
@@ -344,9 +345,10 @@ func TestMultithreadedPrefixScenario(t *testing.T) {
 }
 
 func TestRandomModeIsSeededAndDeterministic(t *testing.T) {
+	// Workers: 1 — the program writes the shared observed slice.
 	var observed []uint64
-	a := Run(figure1(&observed), Options{Mode: RandomMode, Prefix: true, Seed: 42, Executions: 10})
-	b := Run(figure1(&observed), Options{Mode: RandomMode, Prefix: true, Seed: 42, Executions: 10})
+	a := Run(figure1(&observed), Options{Mode: RandomMode, Prefix: true, Seed: 42, Executions: 10, Workers: 1})
+	b := Run(figure1(&observed), Options{Mode: RandomMode, Prefix: true, Seed: 42, Executions: 10, Workers: 1})
 	if a.Report.Count() != b.Report.Count() || a.CrashPoints != b.CrashPoints {
 		t.Fatalf("same seed diverged: %d/%d races, %d/%d points",
 			a.Report.Count(), b.Report.Count(), a.CrashPoints, b.CrashPoints)
@@ -380,7 +382,8 @@ func TestUnwrittenAddressReadsZeroPostCrash(t *testing.T) {
 			PostCrash: func(t *pmm.Thread) { got = t.Load64(x) },
 		}
 	}
-	Run(mk, Options{Mode: ModelCheck, Prefix: true})
+	// Workers: 1 — the program writes the shared got variable.
+	Run(mk, Options{Mode: ModelCheck, Prefix: true, Workers: 1})
 	if got != 0 {
 		t.Fatalf("unwritten address read %d, want 0", got)
 	}
@@ -704,7 +707,8 @@ func TestMultithreadedRecovery(t *testing.T) {
 			},
 		}
 	}
-	res := Run(mk, Options{Mode: ModelCheck, Prefix: true})
+	// Workers: 1 — the recovery threads increment the shared reads counter.
+	res := Run(mk, Options{Mode: ModelCheck, Prefix: true, Workers: 1})
 	if res.Report.Count() != 1 {
 		t.Fatalf("races = %d, want 1 (deduplicated across recovery threads)", res.Report.Count())
 	}
@@ -817,8 +821,9 @@ func TestStoreBufferLossInRandomMode(t *testing.T) {
 			},
 		}
 	}
+	// Workers: 1 — the program writes the shared observed map.
 	for seed := int64(1); seed <= 30; seed++ {
-		Run(mk, Options{Mode: RandomMode, Prefix: true, Seed: seed, Executions: 2})
+		Run(mk, Options{Mode: RandomMode, Prefix: true, Seed: seed, Executions: 2, Workers: 1})
 	}
 	if !observed[0] {
 		t.Error("no execution lost the buffered store (x=0 never observed)")

@@ -1,0 +1,363 @@
+// Exploration is split into three explicit layers so the thousands of
+// independent crash scenarios a run comprises (the paper "systematically
+// injects crashes before every clflush or fence operation", §4) can execute
+// on a parallel worker pool without giving up reproducibility:
+//
+//	plan    — turn Options into a stream of self-contained scenarioSpec
+//	          values (probe runs, crash-point clamping, persist-policy
+//	          fan-out, random-mode seed derivation all happen here);
+//	execute — a bounded pool of Options.Workers goroutines runs each spec
+//	          as an isolated scenario group (no state is shared between
+//	          specs: every scenario owns its program instance, heap,
+//	          detector, TSO machine and rng);
+//	merge   — results are absorbed strictly in spec-index order, so the
+//	          final Result (races, Stats, Window, ExecutionsRun) is
+//	          byte-identical between Workers=1 and Workers=N.
+//
+// The determinism contract: a spec's outcome is a pure function of
+// (makeProg, opts, spec), and the merge is a fold over outcomes in spec
+// order. Completion order therefore cannot influence the Result.
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"yashme/internal/pmm"
+	"yashme/internal/report"
+	"yashme/internal/vclock"
+)
+
+// vclockSeqs is the per-line candidate list type (alias keeps the scenario
+// struct readable).
+type vclockSeqs = []vclock.Seq
+
+// scenarioSpec is one self-contained unit of exploration work: the primary
+// crash scenario plus the expansions (read-choice exploration, recovery
+// crashes) that depend on its runtime state. Everything a worker needs is
+// in the spec; nothing is shared between specs.
+type scenarioSpec struct {
+	// idx is the spec's position in plan-enumeration order; the merge
+	// layer absorbs results strictly in idx order.
+	idx int
+	// scheduleIdx is the model-check schedule the spec belongs to
+	// (RandomMode: the execution index).
+	scheduleIdx int
+	// crashPoint is plan[0]: the 1-based flush/fence point of the primary
+	// crash (0 = crash at completion).
+	crashPoint int
+	// plan is the full crash plan (may carry a recovery crash in
+	// RandomMode).
+	plan plan
+	// persist is the persisted-image policy of the primary scenario.
+	persist PersistPolicy
+	// seed seeds the scenario's scheduler and persist randomness.
+	seed int64
+	// exploreReads runs the Jaaru-style read-choice expansions after the
+	// primary scenario (set on the first persist policy only, mirroring
+	// the sequential exploration order).
+	exploreReads bool
+	// expandRecovery probes the primary scenario's recovery crash points
+	// and runs up to Options.RecoveryCrashes follow-up scenarios.
+	expandRecovery bool
+	// window marks specs that contribute a PointStat to Result.Window
+	// (first model-check schedule only).
+	window bool
+}
+
+// specResult is the outcome of one spec: a private report set plus the
+// counters the merge layer folds into the Result.
+type specResult struct {
+	spec       scenarioSpec
+	report     *report.Set
+	executions int
+	stats      Stats
+	// windowRaces is the largest per-scenario deduplicated race count
+	// among the window-contributing scenarios of the spec (the primary
+	// run and its read-choice expansions; recovery crashes are excluded,
+	// as in the sequential exploration).
+	windowRaces int
+	// panicked carries a workload panic out of the worker so the merge
+	// layer can re-raise it deterministically on the caller's goroutine.
+	panicked any
+}
+
+// planSummary is what the plan layer learns from its probe runs.
+type planSummary struct {
+	// crashPoints is Result.CrashPoints: the probed point count of the
+	// first schedule (ModelCheck) or the sum over executions (RandomMode).
+	crashPoints int
+	// panicked carries a probe-run panic.
+	panicked any
+}
+
+// runExplore is the orchestrator behind Run: plan on one goroutine,
+// execute on the worker pool, merge in spec order on the caller.
+//
+// Workers == 1 short-circuits the pool entirely: planning, execution and
+// merging interleave on the caller's goroutine (probe, spec, probe, spec,
+// …), so no two program instances ever run concurrently — the contract
+// that lets programs with shared observation state opt out of parallelism.
+func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
+	workers := opts.Workers
+	if workers == 1 {
+		sum := planSpecs(makeProg, opts, func(spec scenarioSpec) {
+			r := runSpec(makeProg, opts, spec)
+			if r.panicked != nil {
+				panic(r.panicked)
+			}
+			res.mergeSpec(r)
+		})
+		res.CrashPoints = sum.crashPoints
+		return
+	}
+	specCh := make(chan scenarioSpec, workers)
+	sumCh := make(chan planSummary, 1)
+
+	// Plan layer. Probe runs execute here, overlapping with the pool.
+	go func() {
+		var sum planSummary
+		defer func() {
+			if p := recover(); p != nil {
+				sum.panicked = p
+			}
+			close(specCh)
+			sumCh <- sum
+		}()
+		sum = planSpecs(makeProg, opts, func(spec scenarioSpec) { specCh <- spec })
+	}()
+
+	// Execute layer: a bounded pool pulls specs and runs them in
+	// isolation.
+	resCh := make(chan *specResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range specCh {
+				resCh <- runSpec(makeProg, opts, spec)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Merge layer: absorb in spec-index order regardless of completion
+	// order.
+	var specPanic any
+	specPanicIdx := -1
+	pending := make(map[int]*specResult)
+	next := 0
+	for r := range resCh {
+		pending[r.spec.idx] = r
+		for {
+			rr, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if rr.panicked != nil {
+				if specPanicIdx < 0 {
+					specPanic, specPanicIdx = rr.panicked, rr.spec.idx
+				}
+				continue
+			}
+			res.mergeSpec(rr)
+		}
+	}
+	sum := <-sumCh
+
+	// Re-raise panics with the sequential engine's precedence: the
+	// lowest-index spec panic fires before a later probe panic (the
+	// planner only emits a spec after all earlier probes succeeded).
+	if specPanic != nil {
+		panic(specPanic)
+	}
+	if sum.panicked != nil {
+		panic(sum.panicked)
+	}
+	res.CrashPoints = sum.crashPoints
+}
+
+// mergeSpec folds one spec outcome into the Result. Called in spec-index
+// order only.
+func (res *Result) mergeSpec(r *specResult) {
+	res.Report.Merge(r.report)
+	res.ExecutionsRun += r.executions
+	res.Stats.add(r.stats)
+	if !r.spec.window {
+		return
+	}
+	// Window specs arrive grouped by crash point, points ascending; the
+	// persist policies of one point fold into a single PointStat.
+	if len(res.Window) == 0 || res.Window[len(res.Window)-1].Point != r.spec.crashPoint {
+		res.Window = append(res.Window, PointStat{Point: r.spec.crashPoint})
+	}
+	if last := &res.Window[len(res.Window)-1]; r.windowRaces > last.Races {
+		last.Races = r.windowRaces
+	}
+}
+
+// planSpecs dispatches to the mode's enumerator. emit is called once per spec,
+// in spec-index order; in the parallel path it feeds the pool's channel, in
+// the sequential path it runs the spec inline.
+func planSpecs(makeProg func() pmm.Program, opts Options, emit func(scenarioSpec)) planSummary {
+	if opts.Mode == ModelCheck {
+		return planModelCheck(makeProg, opts, emit)
+	}
+	return planRandom(makeProg, opts, emit)
+}
+
+// planModelCheck enumerates the model-checking specs: per schedule, a probe
+// run counts the flush/fence points of the deterministic schedule, then one
+// spec is emitted per (crash point, persist policy) — crash point 0 is the
+// power loss at completion.
+func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenarioSpec)) planSummary {
+	var sum planSummary
+	idx := 0
+	for sched := 0; sched < opts.Schedules; sched++ {
+		seed := opts.Seed + int64(sched)
+		probe := newScenario(makeProg, opts, plan{}, PersistLatest, seed)
+		probe.run()
+		n := probe.crashPoints[0]
+		if sched == 0 {
+			sum.crashPoints = n
+		}
+		limit := n
+		if opts.MaxCrashPoints > 0 && limit > opts.MaxCrashPoints {
+			limit = opts.MaxCrashPoints
+		}
+		for c := 0; c <= limit; c++ {
+			for ppIdx, pp := range opts.PersistPolicies {
+				emit(scenarioSpec{
+					idx:            idx,
+					scheduleIdx:    sched,
+					crashPoint:     c,
+					plan:           plan{0: c},
+					persist:        pp,
+					seed:           seed,
+					exploreReads:   opts.ExploreReads && ppIdx == 0,
+					expandRecovery: opts.RecoveryCrashes > 0,
+					window:         sched == 0,
+				})
+				idx++
+			}
+		}
+	}
+	return sum
+}
+
+// planRandom enumerates the random-mode specs. The top-level rng stream is
+// inherently sequential — the draw for execution i+1 depends on execution
+// i's probed point count — so the probes run here, on the plan goroutine,
+// while the pool executes earlier specs; the crash scenarios themselves
+// fan out across the workers.
+func planRandom(makeProg func() pmm.Program, opts Options, emit func(scenarioSpec)) planSummary {
+	var sum planSummary
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := 0; i < opts.Executions; i++ {
+		schedSeed := rng.Int63()
+		// Probe with this schedule to count its crash points, then emit
+		// the identical schedule crashing before a random one of them.
+		probe := newScenario(makeProg, opts, plan{}, PersistRandom, schedSeed)
+		probe.run()
+		n := probe.crashPoints[0]
+		sum.crashPoints += n
+		c := 0
+		if n > 0 {
+			c = 1 + rng.Intn(n)
+		}
+		p := plan{0: c}
+		if opts.RecoveryCrashes > 0 && rng.Intn(2) == 0 {
+			p[1] = 1 + rng.Intn(opts.RecoveryCrashes)
+		}
+		emit(scenarioSpec{
+			idx:         i,
+			scheduleIdx: i,
+			crashPoint:  c,
+			plan:        p,
+			persist:     PersistRandom,
+			seed:        schedSeed,
+		})
+	}
+	return sum
+}
+
+// runSpec executes one spec in isolation: the primary scenario, then the
+// read-choice expansions and recovery-crash follow-ups that depend on its
+// runtime state. The internal order matches the sequential exploration
+// exactly, so the spec's private report preserves first-seen order.
+func runSpec(makeProg func() pmm.Program, opts Options, spec scenarioSpec) (out *specResult) {
+	out = &specResult{spec: spec, report: report.NewSet()}
+	defer func() {
+		if p := recover(); p != nil {
+			out.panicked = p
+		}
+	}()
+
+	sc := newScenario(makeProg, opts, spec.plan, spec.persist, spec.seed)
+	if spec.exploreReads {
+		sc.lineChoices = make(map[pmm.Line]vclockSeqs)
+	}
+	sc.run()
+	out.windowRaces = sc.det.Report().Count()
+	out.absorb(sc)
+
+	if spec.exploreReads {
+		runReadChoices(makeProg, opts, spec, sc.lineChoices, out)
+	}
+	if spec.expandRecovery {
+		m := sc.crashPoints[1]
+		if m > opts.RecoveryCrashes {
+			m = opts.RecoveryCrashes
+		}
+		for rc := 1; rc <= m; rc++ {
+			rsc := newScenario(makeProg, opts, plan{0: spec.crashPoint, 1: rc}, spec.persist, spec.seed)
+			rsc.run()
+			out.absorb(rsc)
+		}
+	}
+	return out
+}
+
+// runReadChoices re-runs a crash point once per (line, persist-point) pair,
+// pinning that line to that choice so the post-crash execution actually
+// observes every candidate value (Jaaru's constraint-based read
+// exploration, bounded by Options.ReadChoiceCap per crash point).
+func runReadChoices(makeProg func() pmm.Program, opts Options, spec scenarioSpec,
+	lineChoices map[pmm.Line]vclockSeqs, out *specResult) {
+
+	// Deterministic line order.
+	var lines []pmm.Line
+	for l := range lineChoices {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	budget := opts.ReadChoiceCap
+	for _, line := range lines {
+		for _, choice := range lineChoices[line] {
+			if budget == 0 {
+				return
+			}
+			budget--
+			sc := newScenario(makeProg, opts, plan{0: spec.crashPoint}, PersistLatest, spec.seed)
+			sc.persistOverride = map[pmm.Line]vclock.Seq{line: choice}
+			sc.run()
+			if n := sc.det.Report().Count(); n > out.windowRaces {
+				out.windowRaces = n
+			}
+			out.absorb(sc)
+		}
+	}
+}
+
+func (r *specResult) absorb(sc *scenario) {
+	r.report.Merge(sc.det.Report())
+	r.executions++
+	r.stats.add(sc.stats)
+}

@@ -53,9 +53,11 @@ func TestItemCountClamped(t *testing.T) {
 // values enabled, recovery may see bad sums but never a wrong value.
 func TestChecksumRejectsTornPayloads(t *testing.T) {
 	var stats Stats
+	// Workers: 1 — the program writes the shared stats.
 	res := engine.Run(New(4, &stats), engine.Options{
 		Mode: engine.ModelCheck, Prefix: true, TornValues: true,
 		PersistPolicies: []engine.PersistPolicy{engine.PersistLatest},
+		Workers:         1,
 	})
 	_ = res
 	// Every recovered (checksum-OK) item must carry a consistent pair.

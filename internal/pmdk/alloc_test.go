@@ -54,7 +54,8 @@ func TestAllocatorNoRaces(t *testing.T) {
 // multiple of the rounded allocation size and within the arena.
 func TestAllocatorBumpNeverTorn(t *testing.T) {
 	var seen []uint64
-	engine.Run(allocDriver(4, &seen), engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: 60})
+	// Workers: 1 — the driver appends to the shared seen slice.
+	engine.Run(allocDriver(4, &seen), engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: 60, Workers: 1})
 	if len(seen) == 0 {
 		t.Fatal("no recoveries observed")
 	}

@@ -87,8 +87,9 @@ func TestFunctionalFullRuns(t *testing.T) {
 // transaction was rolled back (missing is acceptable mid-insert).
 func TestNoWrongValuesAtAnyCrashPoint(t *testing.T) {
 	var stats Stats
+	// Workers: 1 — the program writes the shared stats.
 	res := engine.Run(NewHashmapTXProg(4, &stats),
-		engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: 80})
+		engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: 80, Workers: 1})
 	if stats.Wrong != 0 {
 		t.Fatalf("recovery observed %d wrong values across %d executions", stats.Wrong, res.ExecutionsRun)
 	}
@@ -288,7 +289,8 @@ func TestPoolHeaderValidation(t *testing.T) {
 			},
 		}
 	}
-	res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true})
+	// Workers: 1 — the program writes the shared err variable.
+	res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: 1})
 	if err != nil {
 		t.Fatalf("header validation failed: %v", err)
 	}

@@ -69,7 +69,8 @@ func TestRedoLogNoRaces(t *testing.T) {
 // values are always a consistent prefix of the applied updates.
 func TestRedoLogNoCorruptionAtAnyCrashPoint(t *testing.T) {
 	var stats Stats
-	engine.Run(redoDriver(&stats), engine.Options{Mode: engine.ModelCheck, Prefix: true})
+	// Workers: 1 — the driver writes the shared stats.
+	engine.Run(redoDriver(&stats), engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: 1})
 	if stats.Wrong != 0 {
 		t.Fatalf("recovery observed %d corrupt counter states", stats.Wrong)
 	}

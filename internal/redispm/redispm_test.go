@@ -47,7 +47,8 @@ func TestFunctionalFullRun(t *testing.T) {
 // keeps the dictionary transactionally consistent).
 func TestNoWrongValuesAtAnyCrashPoint(t *testing.T) {
 	var stats Stats
-	engine.Run(New(3, &stats), engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: 60})
+	// Workers: 1 — the program writes the shared stats.
+	engine.Run(New(3, &stats), engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: 60, Workers: 1})
 	if stats.Wrong != 0 {
 		t.Fatalf("recovery observed %d wrong values", stats.Wrong)
 	}
@@ -89,7 +90,8 @@ func TestClientServerFunctional(t *testing.T) {
 
 func TestClientServerNoWrongValues(t *testing.T) {
 	var stats Stats
-	engine.Run(NewClientServer(3, &stats), engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: 40})
+	// Workers: 1 — the program writes the shared stats.
+	engine.Run(NewClientServer(3, &stats), engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: 40, Workers: 1})
 	if stats.Wrong != 0 {
 		t.Fatalf("client/server recovery observed %d wrong values", stats.Wrong)
 	}

@@ -83,8 +83,19 @@ func NormalizeField(field string) string {
 }
 
 // Set accumulates deduplicated race reports.
+//
+// A Set is single-goroutine, merge-only state: it is built by one owner
+// (the engine gives every crash scenario its own Set and folds them with
+// Merge on the merging goroutine) and is not safe for concurrent use.
+// Read accessors (Races, Benign, Fields, String) order races by the
+// stable key (Benchmark, Field, benignness) rather than by insertion, and
+// duplicate reports keep a canonical representative, so the observable
+// output is independent of the order in which sets were merged:
+// Merge(a, b) and Merge(b, a) render identically.
 type Set struct {
 	byKey map[string]Race
+	// order is the first-seen insertion order, kept so Merge can iterate
+	// deterministically; reads use the stable-key order instead.
 	order []string
 	// RawCount counts every reported race before deduplication.
 	RawCount int
@@ -93,14 +104,42 @@ type Set struct {
 // NewSet returns an empty report set.
 func NewSet() *Set { return &Set{byKey: make(map[string]Race)} }
 
+// canonicalBefore reports whether a is the preferred representative over b
+// for the same dedup key, making deduplication commutative across merge
+// orders. A flushed-pre-crash instance wins (it is the witness that only
+// the prefix expansion could reveal the race); ties fall to the earliest
+// racing store in the execution stack.
+func canonicalBefore(a, b Race) bool {
+	if a.Flushed != b.Flushed {
+		return a.Flushed
+	}
+	if a.ExecID != b.ExecID {
+		return a.ExecID < b.ExecID
+	}
+	if a.StoreSeq != b.StoreSeq {
+		return a.StoreSeq < b.StoreSeq
+	}
+	if a.StoreTID != b.StoreTID {
+		return a.StoreTID < b.StoreTID
+	}
+	return a.Addr < b.Addr
+}
+
 // Add records a race, deduplicating by (benchmark, field, benignness).
-// The field is normalized (array indices stripped) first. It reports
-// whether the race was new.
+// The field is normalized (array indices stripped) first. A duplicate
+// keeps the canonical representative (earliest store) regardless of the
+// order reports arrive in. It reports whether the race was new.
 func (s *Set) Add(r Race) bool {
 	s.RawCount++
 	r.Field = NormalizeField(r.Field)
 	k := r.Key()
-	if _, seen := s.byKey[k]; seen {
+	if prev, seen := s.byKey[k]; seen {
+		if canonicalBefore(r, prev) {
+			if r.Witness == "" {
+				r.Witness = prev.Witness
+			}
+			s.byKey[k] = r
+		}
 		return false
 	}
 	s.byKey[k] = r
@@ -108,7 +147,8 @@ func (s *Set) Add(r Race) bool {
 	return true
 }
 
-// Races returns the deduplicated non-benign races in first-seen order.
+// Races returns the deduplicated non-benign races in stable (benchmark,
+// field) order.
 func (s *Set) Races() []Race { return s.filter(false) }
 
 // Benign returns the deduplicated benign (checksum-guarded) races.
@@ -121,6 +161,12 @@ func (s *Set) filter(benign bool) []Race {
 			out = append(out, r)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		return out[i].Field < out[j].Field
+	})
 	return out
 }
 
@@ -151,7 +197,11 @@ func (s *Set) AttachWitnesses(build func(Race) string) {
 	}
 }
 
-// Merge adds every race from other into s.
+// Merge adds every race from other into s. Merging is commutative up to
+// the observable output: whatever order sets are merged in, Races(),
+// Benign(), Fields() and String() render the same races with the same
+// canonical representatives (see Add). s and other must not be mutated
+// concurrently; the engine merges on a single goroutine.
 func (s *Set) Merge(other *Set) {
 	for _, k := range other.order {
 		s.Add(other.byKey[k])

@@ -154,3 +154,76 @@ func TestWitnessSurvivesDedupButNotOverwritten(t *testing.T) {
 		}
 	}
 }
+
+// Merge is commutative up to the observable output: whatever order two
+// sets are folded in, the races, their canonical representatives, the
+// field lists and the raw counts come out identical.
+func TestMergeIsCommutative(t *testing.T) {
+	mkRace := func(bench, field string, exec int, seq uint64, flushed, benign bool) Race {
+		return Race{Benchmark: bench, Field: field, ExecID: exec, StoreSeq: seq,
+			Flushed: flushed, Benign: benign, Addr: seq * 8, StoreTID: exec % 2}
+	}
+	// Overlapping keys with differing representatives, plus disjoint keys
+	// and a benign/harmful pair on the same field.
+	aRaces := []Race{
+		mkRace("cceh", "Pair.key", 0, 10, false, false),
+		mkRace("cceh", "Pair.value", 1, 20, true, false),
+		mkRace("fastfair", "header.ptr", 0, 5, false, false),
+		mkRace("cceh", "Pair.key", 2, 30, true, true),
+	}
+	bRaces := []Race{
+		mkRace("cceh", "Pair.key", 0, 4, true, false),
+		mkRace("cceh", "Pair.value", 0, 2, false, false),
+		mkRace("memcached", "item.sum", 3, 7, false, true),
+		mkRace("fastfair", "header.ptr", 1, 50, true, false),
+	}
+	build := func(races []Race) *Set {
+		s := NewSet()
+		for _, r := range races {
+			s.Add(r)
+		}
+		return s
+	}
+	ab := build(aRaces)
+	ab.Merge(build(bRaces))
+	ba := build(bRaces)
+	ba.Merge(build(aRaces))
+
+	if ab.String() != ba.String() {
+		t.Fatalf("Merge(a,b) and Merge(b,a) render differently:\n%s\nvs\n%s", ab, ba)
+	}
+	abR, baR := ab.Races(), ba.Races()
+	if len(abR) != len(baR) {
+		t.Fatalf("race counts differ: %d vs %d", len(abR), len(baR))
+	}
+	for i := range abR {
+		if abR[i] != baR[i] {
+			t.Errorf("race %d differs: %+v vs %+v", i, abR[i], baR[i])
+		}
+	}
+	abF, baF := ab.Fields(), ba.Fields()
+	for i := range abF {
+		if abF[i] != baF[i] {
+			t.Errorf("field %d differs: %q vs %q", i, abF[i], baF[i])
+		}
+	}
+	if ab.RawCount != ba.RawCount {
+		t.Errorf("raw counts differ: %d vs %d", ab.RawCount, ba.RawCount)
+	}
+}
+
+// The canonical representative is merge-order independent: a flushed
+// instance beats an unflushed one, then the earliest store wins.
+func TestCanonicalRepresentativePrefersFlushedThenEarliest(t *testing.T) {
+	early := Race{Benchmark: "b", Field: "x", ExecID: 0, StoreSeq: 1}
+	flushed := Race{Benchmark: "b", Field: "x", ExecID: 5, StoreSeq: 99, Flushed: true}
+	for _, order := range [][]Race{{early, flushed}, {flushed, early}} {
+		s := NewSet()
+		for _, r := range order {
+			s.Add(r)
+		}
+		if got := s.Races()[0]; !got.Flushed || got.StoreSeq != 99 {
+			t.Fatalf("representative = %+v, want the flushed instance", got)
+		}
+	}
+}

@@ -26,6 +26,11 @@ import (
 	"yashme/internal/report"
 )
 
+// Workers is the engine worker-pool size every table run uses (0 = the
+// engine default, GOMAXPROCS). cmd/yashme-tables sets it from -workers;
+// results are identical for every value (see engine.Options.Workers).
+var Workers int
+
 // Spec describes one benchmark program and how the paper evaluated it.
 type Spec struct {
 	// Name is the benchmark name as it appears in the paper's tables.
@@ -109,7 +114,7 @@ func Table3() []RaceRow {
 	var rows []RaceRow
 	idx := 1
 	for _, spec := range IndexSpecs() {
-		res := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true})
+		res := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: Workers})
 		for _, f := range res.Report.Fields() {
 			rows = append(rows, RaceRow{Index: idx, Benchmark: spec.Name, Field: f})
 			idx++
@@ -124,7 +129,7 @@ func Table3() []RaceRow {
 func Table4() []RaceRow {
 	set := report.NewSet()
 	run := func(mk func() pmm.Program) {
-		res := engine.Run(mk, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: 1, Executions: 40})
+		res := engine.Run(mk, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: 1, Executions: 40, Workers: Workers})
 		set.Merge(res.Report)
 	}
 	run(pmdk.NewPMDKProg(3, nil))
@@ -171,15 +176,15 @@ func Table5() []Table5Row {
 		row := Table5Row{Benchmark: spec.Name, PaperPrefix: spec.PaperPrefix, PaperBaseline: spec.PaperBaseline}
 
 		start := time.Now()
-		p := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1})
+		p := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, Workers: Workers})
 		row.YashmeTime = time.Since(start)
 		row.Prefix = p.Report.Count()
 
-		b := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: false, Seed: spec.Table5Seed, Executions: 1})
+		b := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: false, Seed: spec.Table5Seed, Executions: 1, Workers: Workers})
 		row.Baseline = b.Report.Count()
 
 		start = time.Now()
-		engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, DetectorOff: true})
+		engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, DetectorOff: true, Workers: Workers})
 		row.JaaruTime = time.Since(start)
 
 		rows = append(rows, row)
@@ -213,7 +218,7 @@ func Table5Text(rows []Table5Row) string {
 func BenignRaces() []report.Race {
 	set := report.NewSet()
 	run := func(mk func() pmm.Program, cap int) {
-		res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: cap})
+		res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: cap, Workers: Workers})
 		set.Merge(res.Report)
 	}
 	run(pmdk.NewPMDKProg(3, nil), 60)
@@ -313,8 +318,8 @@ func BugIndexText() string {
 // points (any consistent prefix works); the baseline needs the crash inside
 // a store→flush window.
 func WindowText(spec Spec) string {
-	p := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true})
-	b := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: false})
+	p := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: Workers})
+	b := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: false, Workers: Workers})
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s: races revealed per crash point (0 = crash at completion)\n", spec.Name)
 	fmt.Fprintf(&sb, "%-7s %-8s %s\n", "point", "prefix", "baseline")

@@ -101,7 +101,11 @@ type ReportSet = report.Set
 
 // Run explores the program per the options and returns merged race reports.
 // makeProg must return a fresh Program per call: the engine re-instantiates
-// the workload for every crash scenario it explores.
+// the workload for every crash scenario it explores. Scenarios run on a
+// worker pool (Options.Workers, default GOMAXPROCS) with results merged
+// deterministically — set Workers to 1 for fully sequential execution
+// (identical results) if the program records observations through shared
+// captured variables.
 func Run(makeProg func() Program, opts Options) *Result {
 	return engine.Run(makeProg, opts)
 }
