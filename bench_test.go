@@ -9,6 +9,8 @@
 package yashme_test
 
 import (
+	"encoding/json"
+	"os"
 	"runtime"
 	"testing"
 
@@ -93,6 +95,67 @@ func BenchmarkTable3Parallel(b *testing.B) {
 			}
 			b.ReportMetric(float64(races), "races")
 		})
+	}
+}
+
+// BenchmarkTable3Checkpoint (E18): the Table 3 model-checking sweep with
+// checkpointed pre-crash execution on vs off. Race counts are identical
+// (the checkpoint equivalence contract); the simops metric — operations the
+// engine actually stepped through the scheduler — is the measured win:
+// resuming from snapshots removes the O(C·n) pre-crash re-simulation. The
+// parent benchmark writes the BENCH_table3.json artifact so the perf
+// trajectory is tracked across changes.
+func BenchmarkTable3Checkpoint(b *testing.B) {
+	type measurement struct {
+		NsPerOp      int64   `json:"ns_per_op"`
+		SimulatedOps int64   `json:"simulated_ops"`
+		Races        float64 `json:"races"`
+	}
+	results := map[string]*measurement{}
+	for _, ck := range []struct {
+		name string
+		mode engine.CheckpointMode
+	}{
+		{"on", engine.CheckpointOn},
+		{"off", engine.CheckpointOff},
+	} {
+		ck := ck
+		m := &measurement{}
+		results[ck.name] = m
+		b.Run("checkpoint-"+ck.name, func(b *testing.B) {
+			races := 0
+			var simOps int64
+			for i := 0; i < b.N; i++ {
+				races, simOps = 0, 0
+				for _, spec := range tables.IndexSpecs() {
+					res := engine.Run(spec.Make, engine.Options{
+						Mode: engine.ModelCheck, Prefix: true, Checkpoint: ck.mode})
+					races += res.Report.Count()
+					simOps += res.Stats.SimulatedOps
+				}
+			}
+			b.ReportMetric(float64(races), "races")
+			b.ReportMetric(float64(simOps), "simops")
+			m.NsPerOp = b.Elapsed().Nanoseconds() / int64(b.N)
+			m.SimulatedOps = simOps
+			m.Races = float64(races)
+		})
+	}
+	artifact := struct {
+		Experiment string                  `json:"experiment"`
+		Benchmark  string                  `json:"benchmark"`
+		Modes      map[string]*measurement `json:"modes"`
+		SimOpsWin  float64                 `json:"simops_ratio_off_over_on"`
+	}{Experiment: "E18", Benchmark: "Table3", Modes: results}
+	if on := results["on"].SimulatedOps; on > 0 {
+		artifact.SimOpsWin = float64(results["off"].SimulatedOps) / float64(on)
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal artifact: %v", err)
+	}
+	if err := os.WriteFile("BENCH_table3.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_table3.json: %v", err)
 	}
 }
 

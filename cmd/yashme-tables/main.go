@@ -14,17 +14,57 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"yashme/internal/engine"
 	"yashme/internal/tables"
 )
 
-func main() {
+// main delegates to run so deferred profile writers fire before exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	which := flag.String("table", "all", "table to print: 2a | 2b | 3 | 4 | 5 | window | bugs | benign | all")
 	format := flag.String("format", "text", "output format: text | markdown (2b, 3, 4 and 5 only)")
 	workers := flag.Int("workers", 0, "crash scenarios run concurrently (0 = GOMAXPROCS, 1 = sequential; results identical)")
+	checkpoint := flag.Bool("checkpoint", true, "model-check: resume crash scenarios from pre-crash snapshots (results identical; =false re-simulates every prefix)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	md := *format == "markdown"
 	tables.Workers = *workers
+	if !*checkpoint {
+		tables.Checkpoint = engine.CheckpointOff
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yashme-tables: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "yashme-tables: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "yashme-tables: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "yashme-tables: %v\n", err)
+			}
+		}()
+	}
 
 	emit := func(name string) bool { return *which == "all" || *which == name }
 	printed := false
@@ -94,6 +134,7 @@ func main() {
 	}
 	if !printed {
 		fmt.Fprintf(os.Stderr, "yashme-tables: unknown table %q\n", *which)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

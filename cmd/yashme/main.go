@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,7 +28,10 @@ import (
 	"yashme/internal/tables"
 )
 
-func main() {
+// main delegates to run so deferred profile writers fire before exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		list       = flag.Bool("list", false, "list available benchmarks and exit")
 		bench      = flag.String("bench", "", "benchmark to check (see -list)")
@@ -44,20 +49,52 @@ func main() {
 		schedules  = flag.Int("schedules", 1, "model-check: number of distinct thread schedules to explore")
 		reads      = flag.Bool("explore-reads", false, "model-check: explore per-line persist-point read choices (Jaaru-style)")
 		workers    = flag.Int("workers", 0, "crash scenarios run concurrently (0 = GOMAXPROCS, 1 = sequential; results identical)")
+		checkpoint = flag.Bool("checkpoint", true, "model-check: resume crash scenarios from pre-crash snapshots (results identical; =false re-simulates every prefix)")
+		maxOps     = flag.Int("maxops", 0, "per-execution simulated-operation bound (0 = engine default)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
+			}
+		}()
+	}
 
 	specs := tables.AllSpecs()
 	if *file != "" {
 		src, err := os.ReadFile(*file)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		parsed, err := script.Parse(string(src))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		specs = []tables.Spec{{Name: parsed.Name, Make: parsed.MakeProgram(), ModelCheck: true}}
 		*bench = parsed.Name
@@ -71,7 +108,7 @@ func main() {
 			}
 			fmt.Printf("  %-15s (paper mode: %s)\n", s.Name, m)
 		}
-		return
+		return 0
 	}
 	var spec *tables.Spec
 	for i := range specs {
@@ -82,7 +119,7 @@ func main() {
 	}
 	if spec == nil {
 		fmt.Fprintf(os.Stderr, "yashme: unknown benchmark %q (use -list)\n", *bench)
-		os.Exit(2)
+		return 2
 	}
 
 	opts := engine.Options{
@@ -96,6 +133,10 @@ func main() {
 		Schedules:      *schedules,
 		ExploreReads:   *reads,
 		Workers:        *workers,
+		MaxOps:         *maxOps,
+	}
+	if !*checkpoint {
+		opts.Checkpoint = engine.CheckpointOff
 	}
 	if *suppress != "" {
 		opts.Suppress = strings.Split(*suppress, ",")
@@ -107,7 +148,7 @@ func main() {
 		opts.Mode = engine.RandomMode
 	default:
 		fmt.Fprintf(os.Stderr, "yashme: unknown mode %q\n", *mode)
-		os.Exit(2)
+		return 2
 	}
 
 	start := time.Now()
@@ -135,6 +176,7 @@ func main() {
 		}
 	}
 	if len(races) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

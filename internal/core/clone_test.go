@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestCloneIndependence: a cloned detector and its original may be mutated
+// independently. The checkpoint layer treats captured clones as read-only
+// templates shared across workers, so any mutation leaking back into the
+// original (or from it) would corrupt every later crash scenario.
+func TestCloneIndependence(t *testing.T) {
+	r := newRig(true)
+	r.m.EnqueueStore(0, addrX, 8, 1, false, false)
+	r.m.EnqueueStore(0, addrZ, 8, 2, false, false)
+	r.m.DrainSB(0)
+
+	nd, rm := r.d.Clone()
+	origStore := r.d.Current().Latest(addrX)
+	cloneStore := rm.Stores[origStore]
+	if cloneStore == nil || cloneStore == origStore {
+		t.Fatalf("remap must map the store to a distinct clone (got %p -> %p)", origStore, cloneStore)
+	}
+
+	// Mutate the clone: flush X's line (appends to the record's Flushes),
+	// crash, and report a race on the unflushed Z. The machine clone reports
+	// to the detector clone, so the two pairs evolve independently.
+	nm := r.m.Clone(nd)
+	nm.EnqueueCLFlush(0, addrX)
+	nm.DrainSB(0)
+	ce := nd.Current()
+	nd.EndExecution(nm.CurSeq())
+	if race := nd.CheckCandidate(ce, ce.Latest(addrZ), false); race == nil {
+		t.Fatal("clone: unflushed non-atomic store must race")
+	}
+
+	if len(origStore.Flushes) != 0 {
+		t.Errorf("original store gained %d flushes from the clone's clflush", len(origStore.Flushes))
+	}
+	if len(cloneStore.Flushes) != 1 {
+		t.Errorf("clone store has %d flushes, want 1", len(cloneStore.Flushes))
+	}
+	if got := r.d.Report().Count(); got != 0 {
+		t.Errorf("original report has %d races after the clone reported one", got)
+	}
+	if got := len(r.d.Executions()); got != 1 {
+		t.Errorf("original has %d executions after the clone crashed, want 1", got)
+	}
+
+	// The other direction: race on the original, check the clone's report.
+	e := r.d.Current()
+	r.d.EndExecution(r.m.CurSeq())
+	if race := r.d.CheckCandidate(e, e.Latest(addrX), false); race == nil {
+		t.Fatal("original: unflushed non-atomic store must race")
+	}
+	if got := nd.Report().Count(); got != 1 {
+		t.Errorf("clone report has %d races after the original reported another, want 1", got)
+	}
+}

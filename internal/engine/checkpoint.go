@@ -1,0 +1,306 @@
+// Checkpointed pre-crash execution.
+//
+// A ModelCheck run explores every crash point of one deterministic schedule,
+// and historically each of the C crash scenarios re-simulated the pre-crash
+// prefix from scratch — O(C·n) simulated operations for an n-operation
+// workload, the dominant cost of a sweep. The checkpoint layer removes the
+// quadratic term: the planner's probe run (which already executes the full
+// schedule once to count its flush/fence points) captures a deep-cloned
+// snapshot at every crash point, and each scenario resumes from its point's
+// snapshot, simulating only the crash, the image derivation and the
+// post-crash recovery — O(n) + C·clone.
+//
+// What a snapshot holds, and why:
+//
+//   - the persistent heap (pmm.Heap.Clone) and the detector with its report
+//     (core.Detector.Clone) — the full pre-crash analysis state;
+//   - the persisted image map, pointer-remapped to the cloned detector's
+//     records (the engine compares *core.StoreRecord / *core.Execution by
+//     identity, so a clone is unusable without the remap);
+//   - the trace recorder's event log, when tracing is on;
+//   - the rng stream position (a raw-draw count) plus the crash-unwind draw
+//     count, so a resume reproduces the exact rand.Rand state a from-scratch
+//     scenario holds after its crash unwinds the remaining threads;
+//   - the crash sequence number — NOT the TSO machine. A crash discards
+//     every buffered store and flush by definition, and the post-crash
+//     machine is freshly seeded from the image, so the machine's only
+//     surviving observable is CurSeq (tso.Machine.Clone exists for tests and
+//     tooling, not for this layer).
+//
+// Snapshots are read-only templates shared by every scenario of a schedule
+// (including concurrent workers): a resume clones the detector again, remaps
+// the image again, and copies the heap state and event log into scenario-
+// private objects. Nothing ever mutates a snapshot after capture.
+//
+// The same mechanism handles the recursive cases: a primary scenario that
+// expands recovery crashes captures snapshots of its own recovery execution
+// (execution index 1) for the multi-crash follow-ups, and read-choice
+// expansions resume from the first-crash snapshot with a persist override.
+package engine
+
+import (
+	"math/rand"
+
+	"yashme/internal/core"
+	"yashme/internal/pmm"
+	"yashme/internal/trace"
+	"yashme/internal/vclock"
+)
+
+// countingSource wraps a math/rand source and counts raw draws. Every
+// rand.Rand method funnels through Int63/Uint64, and each call advances the
+// underlying generator by a fixed number of steps, so the count identifies
+// the stream position exactly: a fresh source that skips the same number of
+// draws continues the stream byte-identically.
+type countingSource struct {
+	src rand.Source
+	s64 rand.Source64 // nil if src lacks Uint64
+	n   uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	src := rand.NewSource(seed)
+	cs := &countingSource{src: src}
+	if s64, ok := src.(rand.Source64); ok {
+		cs.s64 = s64
+	}
+	return cs
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	if c.s64 != nil {
+		c.n++
+		return c.s64.Uint64()
+	}
+	// Compose from two Int63 draws exactly as rand.Rand does for sources
+	// without Uint64, so the draw count stays equal to the step count.
+	c.n += 2
+	return uint64(c.src.Int63())>>31 | uint64(c.src.Int63())<<32
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// skip advances the source by n raw draws (each Int63 call is one step for
+// every rand.NewSource implementation, with or without Source64).
+func (c *countingSource) skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Int63()
+	}
+	c.n += n
+}
+
+var _ rand.Source64 = (*countingSource)(nil)
+
+// snapshot is the cloned state of a scenario at one crash point: everything
+// a resume needs to continue as if it had simulated the prefix itself.
+// Snapshots are immutable after capture.
+type snapshot struct {
+	seed    int64
+	execIdx int
+	// point is the 1-based flush/fence point captured (0 = completion).
+	point int
+	// crashSeq is the commit sequence at the point — what the crashed
+	// machine's CurSeq would report.
+	crashSeq vclock.Seq
+	// rngDraws is the rng stream position at the point; unwind is the number
+	// of still-live threads minus one, each of which costs the scheduler one
+	// bounded draw while the crash unwinds them.
+	rngDraws uint64
+	unwind   int
+	// stats is the scenario's operation counts at the point, with
+	// SimulatedOps zeroed: a resumed scenario inherits the prefix's per-kind
+	// counts but only counts the operations it actually simulates.
+	stats       Stats
+	crashPoints map[int]int
+	heap        *pmm.Heap
+	det         *core.Detector
+	rec         *trace.Recorder // nil unless tracing
+	image       map[pmm.Addr]imageEntry
+	setupAllocs int
+	setupNext   pmm.Addr
+}
+
+// snapshotSink collects the snapshots of one watched execution, keyed by
+// crash point.
+type snapshotSink struct {
+	// execIdx is the execution index the sink watches (0 = pre-crash
+	// workload, 1 = the first recovery run).
+	execIdx int
+	// max caps the points captured (0 = all); mirrors MaxCrashPoints /
+	// RecoveryCrashes so unexplored points cost nothing.
+	max   int
+	snaps map[int]*snapshot
+}
+
+func newSnapshotSink(execIdx, max int) *snapshotSink {
+	return &snapshotSink{execIdx: execIdx, max: max, snaps: make(map[int]*snapshot)}
+}
+
+// observe captures the current flush/fence point (called from atCrashPoint).
+func (k *snapshotSink) observe(sc *scenario) {
+	p := sc.crashPoints[sc.execIdx]
+	if k.max > 0 && p > k.max {
+		return
+	}
+	k.snaps[p] = captureSnapshot(sc, p)
+}
+
+// take captures an explicit point (the completion snapshot, point 0).
+func (k *snapshotSink) take(sc *scenario, point int) {
+	k.snaps[point] = captureSnapshot(sc, point)
+}
+
+func captureSnapshot(sc *scenario, point int) *snapshot {
+	det, rm := sc.det.Clone()
+	snap := &snapshot{
+		seed:        sc.seed,
+		execIdx:     sc.execIdx,
+		point:       point,
+		crashSeq:    sc.machine.CurSeq(),
+		rngDraws:    sc.rngSrc.n,
+		stats:       sc.stats,
+		crashPoints: make(map[int]int, len(sc.crashPoints)),
+		heap:        sc.heap.Clone(),
+		det:         det,
+		image:       remapImage(sc.image, rm),
+		setupAllocs: sc.setupAllocs,
+		setupNext:   sc.setupNext,
+	}
+	snap.stats.SimulatedOps = 0
+	for k, v := range sc.crashPoints {
+		snap.crashPoints[k] = v
+	}
+	if point > 0 {
+		// A from-scratch crash at this point unwinds the remaining live
+		// threads; the scheduler draws Intn(j) for j = live-1 down to 2.
+		snap.unwind = sc.liveThreads - 1
+	}
+	if sc.recorder != nil {
+		snap.rec = sc.recorder.Clone(nil, nil)
+	}
+	return snap
+}
+
+// remapImage deep-copies an image map, rewriting every candidate and chosen
+// store through the detector-clone remap so pointer-identity comparisons
+// (resolvePostCrashLoad, buildImage's PersistLB check) keep working against
+// the cloned detector.
+func remapImage(img map[pmm.Addr]imageEntry, rm *core.Remap) map[pmm.Addr]imageEntry {
+	out := make(map[pmm.Addr]imageEntry, len(img))
+	remapCand := func(c provCand) provCand {
+		if c.store == nil {
+			return c
+		}
+		if ne, ok := rm.Execs[c.exec]; ok {
+			c.exec = ne
+		}
+		if ns, ok := rm.Stores[c.store]; ok {
+			c.store = ns
+		}
+		return c
+	}
+	for a, e := range img {
+		if len(e.candidates) > 0 {
+			cands := make([]provCand, len(e.candidates))
+			for i, c := range e.candidates {
+				cands[i] = remapCand(c)
+			}
+			e.candidates = cands
+		}
+		e.chosen = remapCand(e.chosen)
+		out[a] = e
+	}
+	return out
+}
+
+// resumeScenario builds a scenario positioned exactly where a from-scratch
+// run of (makeProg, opts, p, persist, snap.seed) would be at snap's crash
+// point, without simulating the prefix. The caller continues with
+// sc.finish(snap.crashSeq).
+//
+// The program's closures capture heap handles, so the program and its Setup
+// are re-run against a fresh heap first; the snapshot's heap state is then
+// grafted into that heap (pmm.Heap.Restore), keeping the handles valid. If
+// Setup does not reproduce the snapshot's allocation fingerprint —
+// a nondeterministic program — resumption is refused and the caller falls
+// back to a from-scratch run, deterministically for every worker count.
+func resumeScenario(makeProg func() pmm.Program, opts Options, snap *snapshot, p plan, persist PersistPolicy) (*scenario, bool) {
+	prog := makeProg()
+	heap := pmm.NewHeap()
+	if prog.Setup != nil {
+		prog.Setup(heap)
+	}
+	if heap.AllocCount() != snap.setupAllocs || heap.NextFree() != snap.setupNext {
+		return nil, false
+	}
+	heap.Restore(snap.heap)
+	if opts.EADR {
+		persist = PersistLatest
+	}
+	det, rm := snap.det.Clone()
+	det.SetLabeler(heap.LabelFor)
+	src := newCountingSource(snap.seed)
+	src.skip(snap.rngDraws)
+	sc := &scenario{
+		opts:        opts,
+		prog:        prog,
+		heap:        heap,
+		det:         det,
+		rng:         rand.New(src),
+		rngSrc:      src,
+		seed:        snap.seed,
+		persist:     persist,
+		crashPlan:   p,
+		crashPoints: make(map[int]int, len(snap.crashPoints)),
+		execIdx:     snap.execIdx,
+		image:       remapImage(snap.image, rm),
+		stats:       snap.stats,
+		setupAllocs: snap.setupAllocs,
+		setupNext:   snap.setupNext,
+	}
+	for k, v := range snap.crashPoints {
+		sc.crashPoints[k] = v
+	}
+	if opts.Trace && snap.rec != nil {
+		sc.recorder = snap.rec.Clone(det, heap.LabelFor)
+	}
+	// Replay the crash-unwind draws so the rng matches a scratch scenario
+	// whose scheduler unwound the remaining threads at the crash. These must
+	// be Intn calls, not raw skips: Intn may reject draws, and the scratch
+	// scheduler made the same rejections.
+	for j := snap.unwind; j >= 2; j-- {
+		sc.rng.Intn(j)
+	}
+	return sc, true
+}
+
+// runPlanned runs one crash scenario, resuming from snap when possible and
+// falling back to a from-scratch run otherwise (snap == nil, checkpointing
+// off, or a fingerprint mismatch). configure, when non-nil, is applied to
+// the scenario before any execution — both paths — so read-choice overrides
+// and recovery sinks attach uniformly.
+func runPlanned(makeProg func() pmm.Program, opts Options, snap *snapshot, p plan, persist PersistPolicy, seed int64, configure func(*scenario)) *scenario {
+	if snap != nil {
+		if sc, ok := resumeScenario(makeProg, opts, snap, p, persist); ok {
+			if configure != nil {
+				configure(sc)
+			}
+			sc.finish(snap.crashSeq)
+			return sc
+		}
+	}
+	sc := newScenario(makeProg, opts, p, persist, seed)
+	if configure != nil {
+		configure(sc)
+	}
+	sc.run()
+	return sc
+}

@@ -1,0 +1,25 @@
+package engine
+
+// Internal benchmarks for the checkpoint layer: the cost of one snapshot
+// capture (the per-crash-point overhead the O(n) + C·clone bound pays).
+
+import (
+	"testing"
+
+	"yashme/internal/fuzzprog"
+)
+
+// BenchmarkSnapshotClone measures captureSnapshot on a scenario that has run
+// a full pre-crash workload: one deep clone of the heap, detector, image and
+// bookkeeping — the C·clone term of the checkpointed exploration.
+func BenchmarkSnapshotClone(b *testing.B) {
+	mk, _ := fuzzprog.Generate(fuzzprog.Default(), 7)
+	opts := Options{Mode: ModelCheck, Prefix: true}.withDefaults()
+	sc := newScenario(mk, opts, plan{}, PersistLatest, opts.Seed)
+	sc.run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = captureSnapshot(sc, 1)
+	}
+}

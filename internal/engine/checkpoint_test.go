@@ -1,0 +1,76 @@
+package engine_test
+
+// Property tests for the checkpoint layer (checkpoint.go): resuming crash
+// scenarios from pre-crash snapshots must be observationally invisible —
+// every Result field except Stats.SimulatedOps is byte-identical to the
+// from-scratch exploration, across random programs, both modes, and every
+// option that interacts with the snapshot machinery.
+
+import (
+	"reflect"
+	"testing"
+
+	"yashme/internal/engine"
+	"yashme/internal/fuzzprog"
+)
+
+// TestCheckpointMatchesScratch: for random programs, checkpointed and
+// from-scratch runs produce identical Report, Window and Stats (modulo
+// SimulatedOps, whose reduction is the point), and model checking actually
+// simulates fewer operations with checkpointing on.
+func TestCheckpointMatchesScratch(t *testing.T) {
+	variants := []struct {
+		name string
+		opts engine.Options
+	}{
+		{"model-check", engine.Options{Mode: engine.ModelCheck, Prefix: true}},
+		{"model-check/baseline", engine.Options{Mode: engine.ModelCheck, Prefix: false}},
+		{"model-check/eadr", engine.Options{Mode: engine.ModelCheck, Prefix: true, EADR: true}},
+		{"model-check/expansions", engine.Options{Mode: engine.ModelCheck, Prefix: true,
+			ExploreReads: true, RecoveryCrashes: 2, MaxCrashPoints: 15}},
+		{"random", engine.Options{Mode: engine.RandomMode, Prefix: true, Executions: 6}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 12; seed++ {
+				mk, _ := fuzzprog.Generate(fuzzprog.Default(), seed)
+				onOpts, offOpts := v.opts, v.opts
+				onOpts.Checkpoint = engine.CheckpointOn
+				offOpts.Checkpoint = engine.CheckpointOff
+				onOpts.Seed, offOpts.Seed = seed, seed
+				on := engine.Run(mk, onOpts)
+				off := engine.Run(mk, offOpts)
+
+				if s, o := on.Report.String(), off.Report.String(); s != o {
+					t.Fatalf("seed %d: reports diverge:\ncheckpoint on:\n%s\ncheckpoint off:\n%s", seed, s, o)
+				}
+				if !reflect.DeepEqual(on.Window, off.Window) {
+					t.Fatalf("seed %d: windows diverge:\non:  %v\noff: %v", seed, on.Window, off.Window)
+				}
+				onStats, offStats := on.Stats, off.Stats
+				onSim, offSim := onStats.SimulatedOps, offStats.SimulatedOps
+				onStats.SimulatedOps, offStats.SimulatedOps = 0, 0
+				if onStats != offStats {
+					t.Fatalf("seed %d: stats diverge:\non:  %+v\noff: %+v", seed, onStats, offStats)
+				}
+				if on.ExecutionsRun != off.ExecutionsRun {
+					t.Fatalf("seed %d: executions diverge: %d vs %d", seed, on.ExecutionsRun, off.ExecutionsRun)
+				}
+				if on.CrashPoints != off.CrashPoints {
+					t.Fatalf("seed %d: crash points diverge: %d vs %d", seed, on.CrashPoints, off.CrashPoints)
+				}
+				if on.Report.RawCount != off.Report.RawCount {
+					t.Fatalf("seed %d: raw race counts diverge: %d vs %d", seed, on.Report.RawCount, off.Report.RawCount)
+				}
+				// The perf claim itself: model checking with more than one
+				// crash point must simulate strictly fewer operations.
+				if v.opts.Mode == engine.ModelCheck && on.CrashPoints > 1 && onSim >= offSim {
+					t.Fatalf("seed %d: checkpointing saved nothing: %d simulated ops on, %d off (%d crash points)",
+						seed, onSim, offSim, on.CrashPoints)
+				}
+			}
+		})
+	}
+}

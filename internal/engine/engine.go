@@ -65,6 +65,32 @@ const (
 	PersistRandom
 )
 
+// CheckpointMode selects whether ModelCheck exploration reuses the pre-crash
+// execution via snapshots (checkpoint.go): the planner's probe run captures a
+// deep-cloned snapshot at every flush/fence point, and each crash scenario
+// resumes from its point's snapshot instead of re-simulating the whole
+// pre-crash prefix — O(n) + C·clone instead of O(C·n) simulated operations.
+// The zero value is on; CheckpointOff forces every scenario to run from
+// scratch (the escape hatch, and the baseline the equivalence tests compare
+// against). RandomMode is unaffected either way: each random execution
+// already simulates its pre-crash prefix exactly once (the crash point is
+// drawn after the probe), so there is no quadratic term to remove.
+type CheckpointMode int
+
+const (
+	// CheckpointOn resumes crash scenarios from pre-crash snapshots
+	// (default).
+	CheckpointOn CheckpointMode = iota
+	// CheckpointOff re-simulates every scenario from scratch.
+	CheckpointOff
+)
+
+// DefaultMaxOps is the Options.MaxOps applied when the field is zero: the
+// per-execution simulated-operation bound that turns a runaway workload
+// (typically an unbounded spin loop) into a diagnostic panic instead of a
+// hang.
+const DefaultMaxOps = 2_000_000
+
 // Options configures a run.
 type Options struct {
 	// Mode selects ModelCheck or RandomMode.
@@ -131,6 +157,13 @@ type Options struct {
 	// race witness (the race-revealing pre-crash prefix plus the post-crash
 	// observation, §5.1) to each report.
 	Trace bool
+	// Checkpoint controls snapshot reuse of the pre-crash execution in
+	// ModelCheck (default CheckpointOn; see CheckpointMode). Results are
+	// byte-identical in both modes.
+	Checkpoint CheckpointMode
+	// MaxOps bounds the simulated operations of one execution (0 =
+	// DefaultMaxOps); exceeding it panics with a diagnostic.
+	MaxOps int
 	// EADR detects only the races possible on eADR platforms, where the
 	// cache is in the persistence domain (§7.5). The persisted image is the
 	// full committed state (flushing is a no-op for durability).
@@ -158,16 +191,30 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.MaxOps <= 0 {
+		o.MaxOps = DefaultMaxOps
+	}
 	return o
 }
 
 // Stats aggregates operation counts across all executions of a run.
+//
+// The per-kind counters (Stores..RMWs) count the operations each crash
+// scenario's executions performed, whether those operations were simulated or
+// inherited from a snapshot — they are identical for CheckpointOn and
+// CheckpointOff. SimulatedOps counts only the operations the engine actually
+// stepped through the scheduler (including probe runs and Yields), so it
+// shrinks when scenarios resume from snapshots: the ratio between the two
+// modes is the checkpoint layer's measured win.
 type Stats struct {
 	Stores  int64
 	Loads   int64
 	Flushes int64
 	Fences  int64
 	RMWs    int64
+	// SimulatedOps is the number of operations actually simulated (stepped
+	// through the scheduler), across probes and scenarios.
+	SimulatedOps int64
 }
 
 func (s *Stats) add(o Stats) {
@@ -176,6 +223,7 @@ func (s *Stats) add(o Stats) {
 	s.Flushes += o.Flushes
 	s.Fences += o.Fences
 	s.RMWs += o.RMWs
+	s.SimulatedOps += o.SimulatedOps
 }
 
 // PointStat records how many distinct races the scenarios crashing before

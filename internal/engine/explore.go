@@ -54,6 +54,11 @@ type scenarioSpec struct {
 	persist PersistPolicy
 	// seed seeds the scenario's scheduler and persist randomness.
 	seed int64
+	// snap, when non-nil, is the checkpoint the primary scenario resumes
+	// from instead of re-simulating the pre-crash prefix (checkpoint.go).
+	// It is a read-only template, shared with every other spec of the same
+	// schedule; resuming clones it.
+	snap *snapshot
 	// exploreReads runs the Jaaru-style read-choice expansions after the
 	// primary scenario (set on the first persist policy only, mirroring
 	// the sequential exploration order).
@@ -88,6 +93,9 @@ type planSummary struct {
 	// crashPoints is Result.CrashPoints: the probed point count of the
 	// first schedule (ModelCheck) or the sum over executions (RandomMode).
 	crashPoints int
+	// simulatedOps counts the operations the probe runs simulated; folded
+	// into Result.Stats.SimulatedOps (specs count their own).
+	simulatedOps int64
 	// panicked carries a probe-run panic.
 	panicked any
 }
@@ -110,6 +118,7 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 			res.mergeSpec(r)
 		})
 		res.CrashPoints = sum.crashPoints
+		res.Stats.SimulatedOps += sum.simulatedOps
 		return
 	}
 	specCh := make(chan scenarioSpec, workers)
@@ -182,6 +191,7 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 		panic(sum.panicked)
 	}
 	res.CrashPoints = sum.crashPoints
+	res.Stats.SimulatedOps += sum.simulatedOps
 }
 
 // mergeSpec folds one spec outcome into the Result. Called in spec-index
@@ -217,13 +227,25 @@ func planSpecs(makeProg func() pmm.Program, opts Options, emit func(scenarioSpec
 // run counts the flush/fence points of the deterministic schedule, then one
 // spec is emitted per (crash point, persist policy) — crash point 0 is the
 // power loss at completion.
+//
+// With checkpointing on, the probe doubles as the one full pre-crash
+// simulation of the schedule: it captures a snapshot at every crash point,
+// and each emitted spec carries its point's snapshot. Snapshots are captured
+// before the crash's persist policy matters, so one probe (run under
+// PersistLatest, like always) serves every policy fan-out.
 func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenarioSpec)) planSummary {
 	var sum planSummary
 	idx := 0
 	for sched := 0; sched < opts.Schedules; sched++ {
 		seed := opts.Seed + int64(sched)
 		probe := newScenario(makeProg, opts, plan{}, PersistLatest, seed)
+		var sink *snapshotSink
+		if opts.Checkpoint == CheckpointOn {
+			sink = newSnapshotSink(0, opts.MaxCrashPoints)
+			probe.capture = sink
+		}
 		probe.run()
+		sum.simulatedOps += probe.stats.SimulatedOps
 		n := probe.crashPoints[0]
 		if sched == 0 {
 			sum.crashPoints = n
@@ -233,6 +255,10 @@ func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenari
 			limit = opts.MaxCrashPoints
 		}
 		for c := 0; c <= limit; c++ {
+			var snap *snapshot
+			if sink != nil {
+				snap = sink.snaps[c]
+			}
 			for ppIdx, pp := range opts.PersistPolicies {
 				emit(scenarioSpec{
 					idx:            idx,
@@ -241,6 +267,7 @@ func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenari
 					plan:           plan{0: c},
 					persist:        pp,
 					seed:           seed,
+					snap:           snap,
 					exploreReads:   opts.ExploreReads && ppIdx == 0,
 					expandRecovery: opts.RecoveryCrashes > 0,
 					window:         sched == 0,
@@ -266,6 +293,7 @@ func planRandom(makeProg func() pmm.Program, opts Options, emit func(scenarioSpe
 		// the identical schedule crashing before a random one of them.
 		probe := newScenario(makeProg, opts, plan{}, PersistRandom, schedSeed)
 		probe.run()
+		sum.simulatedOps += probe.stats.SimulatedOps
 		n := probe.crashPoints[0]
 		sum.crashPoints += n
 		c := 0
@@ -292,6 +320,12 @@ func planRandom(makeProg func() pmm.Program, opts Options, emit func(scenarioSpe
 // read-choice expansions and recovery-crash follow-ups that depend on its
 // runtime state. The internal order matches the sequential exploration
 // exactly, so the spec's private report preserves first-seen order.
+//
+// When the spec carries a checkpoint, every scenario in the group resumes
+// from it rather than re-simulating the pre-crash prefix, and the primary
+// scenario in turn checkpoints its own recovery execution so the multi-crash
+// follow-ups resume from the recovery prefix — the same mechanism one level
+// down the execution stack.
 func runSpec(makeProg func() pmm.Program, opts Options, spec scenarioSpec) (out *specResult) {
 	out = &specResult{spec: spec, report: report.NewSet()}
 	defer func() {
@@ -300,11 +334,16 @@ func runSpec(makeProg func() pmm.Program, opts Options, spec scenarioSpec) (out 
 		}
 	}()
 
-	sc := newScenario(makeProg, opts, spec.plan, spec.persist, spec.seed)
-	if spec.exploreReads {
-		sc.lineChoices = make(map[pmm.Line]vclockSeqs)
+	var recSink *snapshotSink
+	if spec.expandRecovery && opts.Checkpoint == CheckpointOn {
+		recSink = newSnapshotSink(1, opts.RecoveryCrashes)
 	}
-	sc.run()
+	sc := runPlanned(makeProg, opts, spec.snap, spec.plan, spec.persist, spec.seed, func(sc *scenario) {
+		if spec.exploreReads {
+			sc.lineChoices = make(map[pmm.Line]vclockSeqs)
+		}
+		sc.capture = recSink
+	})
 	out.windowRaces = sc.det.Report().Count()
 	out.absorb(sc)
 
@@ -317,8 +356,11 @@ func runSpec(makeProg func() pmm.Program, opts Options, spec scenarioSpec) (out 
 			m = opts.RecoveryCrashes
 		}
 		for rc := 1; rc <= m; rc++ {
-			rsc := newScenario(makeProg, opts, plan{0: spec.crashPoint, 1: rc}, spec.persist, spec.seed)
-			rsc.run()
+			var rsnap *snapshot
+			if recSink != nil {
+				rsnap = recSink.snaps[rc]
+			}
+			rsc := runPlanned(makeProg, opts, rsnap, plan{0: spec.crashPoint, 1: rc}, spec.persist, spec.seed, nil)
 			out.absorb(rsc)
 		}
 	}
@@ -345,9 +387,9 @@ func runReadChoices(makeProg func() pmm.Program, opts Options, spec scenarioSpec
 				return
 			}
 			budget--
-			sc := newScenario(makeProg, opts, plan{0: spec.crashPoint}, PersistLatest, spec.seed)
-			sc.persistOverride = map[pmm.Line]vclock.Seq{line: choice}
-			sc.run()
+			sc := runPlanned(makeProg, opts, spec.snap, plan{0: spec.crashPoint}, PersistLatest, spec.seed, func(sc *scenario) {
+				sc.persistOverride = map[pmm.Line]vclock.Seq{line: choice}
+			})
 			if n := sc.det.Report().Count(); n > out.windowRaces {
 				out.windowRaces = n
 			}

@@ -17,8 +17,10 @@ import (
 
 // The determinism contract: Run's Result is byte-identical for every
 // worker count. Each case runs with Workers=1 (fully sequential) and
-// Workers=8 and compares every observable field. The suite runs under
-// -race in CI, so it also proves the pool shares no scenario state.
+// Workers=8, with checkpointing both on and off, and compares every
+// observable field per checkpoint mode. The suite runs under -race in CI,
+// so it also proves the pool shares no scenario state — including the
+// snapshot templates every worker of a schedule resumes from.
 func TestParallelRunMatchesSequential(t *testing.T) {
 	cases := []struct {
 		name string
@@ -42,34 +44,43 @@ func TestParallelRunMatchesSequential(t *testing.T) {
 		{"pmdk/random", pmdk.NewPMDKProg(3, nil),
 			engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: 1, Executions: 10}},
 	}
+	checkpoints := []struct {
+		name string
+		mode engine.CheckpointMode
+	}{
+		{"checkpoint-on", engine.CheckpointOn},
+		{"checkpoint-off", engine.CheckpointOff},
+	}
 	for _, tc := range cases {
-		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			t.Parallel()
-			seqOpts, parOpts := tc.opts, tc.opts
-			seqOpts.Workers = 1
-			parOpts.Workers = 8
-			seq := engine.Run(tc.mk, seqOpts)
-			par := engine.Run(tc.mk, parOpts)
+		for _, ck := range checkpoints {
+			tc, ck := tc, ck
+			t.Run(tc.name+"/"+ck.name, func(t *testing.T) {
+				t.Parallel()
+				seqOpts, parOpts := tc.opts, tc.opts
+				seqOpts.Workers, seqOpts.Checkpoint = 1, ck.mode
+				parOpts.Workers, parOpts.Checkpoint = 8, ck.mode
+				seq := engine.Run(tc.mk, seqOpts)
+				par := engine.Run(tc.mk, parOpts)
 
-			if s, p := seq.Report.String(), par.Report.String(); s != p {
-				t.Errorf("reports diverge:\nWorkers=1:\n%s\nWorkers=8:\n%s", s, p)
-			}
-			if !reflect.DeepEqual(seq.Window, par.Window) {
-				t.Errorf("windows diverge:\nWorkers=1: %v\nWorkers=8: %v", seq.Window, par.Window)
-			}
-			if seq.Stats != par.Stats {
-				t.Errorf("stats diverge:\nWorkers=1: %+v\nWorkers=8: %+v", seq.Stats, par.Stats)
-			}
-			if seq.ExecutionsRun != par.ExecutionsRun {
-				t.Errorf("executions diverge: %d vs %d", seq.ExecutionsRun, par.ExecutionsRun)
-			}
-			if seq.CrashPoints != par.CrashPoints {
-				t.Errorf("crash points diverge: %d vs %d", seq.CrashPoints, par.CrashPoints)
-			}
-			if seq.Report.RawCount != par.Report.RawCount {
-				t.Errorf("raw race counts diverge: %d vs %d", seq.Report.RawCount, par.Report.RawCount)
-			}
-		})
+				if s, p := seq.Report.String(), par.Report.String(); s != p {
+					t.Errorf("reports diverge:\nWorkers=1:\n%s\nWorkers=8:\n%s", s, p)
+				}
+				if !reflect.DeepEqual(seq.Window, par.Window) {
+					t.Errorf("windows diverge:\nWorkers=1: %v\nWorkers=8: %v", seq.Window, par.Window)
+				}
+				if seq.Stats != par.Stats {
+					t.Errorf("stats diverge:\nWorkers=1: %+v\nWorkers=8: %+v", seq.Stats, par.Stats)
+				}
+				if seq.ExecutionsRun != par.ExecutionsRun {
+					t.Errorf("executions diverge: %d vs %d", seq.ExecutionsRun, par.ExecutionsRun)
+				}
+				if seq.CrashPoints != par.CrashPoints {
+					t.Errorf("crash points diverge: %d vs %d", seq.CrashPoints, par.CrashPoints)
+				}
+				if seq.Report.RawCount != par.Report.RawCount {
+					t.Errorf("raw race counts diverge: %d vs %d", seq.Report.RawCount, par.Report.RawCount)
+				}
+			})
+		}
 	}
 }

@@ -22,11 +22,6 @@ type plan map[int]int
 // errCrash is the sentinel panic that unwinds simulated threads at a crash.
 var errCrash = fmt.Errorf("engine: simulated crash")
 
-// MaxOpsPerExecution bounds the simulated operations of one execution; a
-// workload exceeding it (a runaway spin loop, typically) panics with a
-// diagnostic instead of hanging the checker.
-const MaxOpsPerExecution = 2_000_000
-
 // provCand is one candidate store a post-crash load could read from,
 // together with the execution it belongs to (candidates can span several
 // executions of the stack in multi-crash scenarios).
@@ -62,7 +57,13 @@ type scenario struct {
 	machine  *tso.Machine
 	recorder *trace.Recorder // nil unless Options.Trace
 	rng      *rand.Rand
-	persist  PersistPolicy
+	// rngSrc is rng's underlying source, wrapped to count raw draws so a
+	// snapshot can record the stream position (checkpoint.go).
+	rngSrc *countingSource
+	// seed is the scheduler/persist seed; snapshots carry it so a resumed
+	// scenario can rebuild the identical rng stream.
+	seed    int64
+	persist PersistPolicy
 
 	crashPlan plan
 	// crashPoints counts flush/fence points seen per execution index.
@@ -81,6 +82,20 @@ type scenario struct {
 	stats Stats
 	// opCount is the watchdog counter for the current execution.
 	opCount int
+
+	// capture, when set, receives a snapshot at every flush/fence point of
+	// the execution it watches (checkpoint.go). The planner sets it on probe
+	// runs (execution 0); runSpec sets it on primary scenarios to checkpoint
+	// the recovery execution for multi-crash follow-ups.
+	capture *snapshotSink
+	// liveThreads mirrors the scheduler's live-thread count; a snapshot
+	// records it to replay the crash-unwind rng draws on resume.
+	liveThreads int
+	// setupAllocs/setupNext fingerprint the heap right after Setup; a resume
+	// verifies a fresh Setup reproduced the same shape before grafting
+	// snapshot state onto it.
+	setupAllocs int
+	setupNext   pmm.Addr
 }
 
 func newScenario(makeProg func() pmm.Program, opts Options, p plan, persist PersistPolicy, seed int64) *scenario {
@@ -105,16 +120,21 @@ func newScenario(makeProg func() pmm.Program, opts Options, p plan, persist Pers
 		Labeler:   func(a pmm.Addr) string { return heap.LabelFor(a) },
 		Suppress:  opts.Suppress,
 	})
+	src := newCountingSource(seed)
 	sc := &scenario{
 		opts:        opts,
 		prog:        prog,
 		heap:        heap,
 		det:         det,
-		rng:         rand.New(rand.NewSource(seed)),
+		rng:         rand.New(src),
+		rngSrc:      src,
+		seed:        seed,
 		persist:     persist,
 		crashPlan:   p,
 		crashPoints: make(map[int]int),
 		image:       make(map[pmm.Addr]imageEntry),
+		setupAllocs: heap.AllocCount(),
+		setupNext:   heap.NextFree(),
 	}
 	if opts.Trace {
 		sc.recorder = trace.NewRecorder(det, heap.LabelFor)
@@ -130,27 +150,41 @@ func newScenario(makeProg func() pmm.Program, opts Options, p plan, persist Pers
 func (sc *scenario) run() {
 	sc.startMachine()
 	sc.runExecution(sc.prog.Workers)
+	if sc.capture != nil && sc.capture.execIdx == 0 && sc.execIdx == 0 && !sc.crashed {
+		// Completion snapshot (crash point 0): the pre-crash execution ran
+		// to the end; the final power loss is simulated by finish.
+		sc.capture.take(sc, 0)
+	}
+	sc.finish(sc.machine.CurSeq())
+}
 
-	// Recovery executions. Each prior execution ended in a crash (or in
-	// completion, treated as a final power loss); run the recovery threads
-	// until a recovery completes or the plan runs out of crashes.
+// finish runs the post-crash half of the scenario: the image derivation and
+// the recovery executions, starting from a pre-crash execution that ended
+// (crashed or completed) at crashSeq. Scenarios resumed from a snapshot
+// enter here directly — the snapshot replaces the pre-crash simulation.
+//
+// Each prior execution ended in a crash (or in completion, treated as a
+// final power loss); run the recovery threads until a recovery completes or
+// the plan runs out of crashes.
+func (sc *scenario) finish(crashSeq vclock.Seq) {
 	recovery := sc.prog.RecoveryWorkers()
 	if recovery == nil {
 		return
 	}
 	for {
 		if sc.recorder != nil {
-			sc.recorder.Crash(sc.machine.CurSeq())
+			sc.recorder.Crash(crashSeq)
 		}
 		sc.buildImage()
 		sc.execIdx++
-		sc.det.EndExecution(sc.machine.CurSeq())
+		sc.det.EndExecution(crashSeq)
 		sc.startMachine()
 		crashedHere := sc.runExecution(recovery)
 		if !crashedHere {
 			sc.attachWitnesses()
 			return
 		}
+		crashSeq = sc.machine.CurSeq()
 	}
 }
 
@@ -223,6 +257,7 @@ func (sc *scenario) runExecution(fns []func(*pmm.Thread)) bool {
 		}()
 	}
 	live := n
+	sc.liveThreads = live
 	for live > 0 {
 		// Pick a waiting, unfinished thread. Deterministic given the seed.
 		var ready []int
@@ -244,6 +279,7 @@ func (sc *scenario) runExecution(fns []func(*pmm.Thread)) bool {
 		if ev.done {
 			finished[ev.tid] = true
 			live--
+			sc.liveThreads = live
 			if p := panics[ev.tid]; p != nil {
 				panic(p) // re-raise the workload panic in the caller
 			}
@@ -269,9 +305,15 @@ func (sc *scenario) crashNow() {
 }
 
 // atCrashPoint counts a flush/fence point and reports whether the plan says
-// to crash before it.
+// to crash before it. When a snapshot sink watches this execution, the point
+// is captured here — after the count, before the operation takes effect —
+// which is exactly the state a from-scratch scenario holds when its plan
+// fires the crash at this point.
 func (sc *scenario) atCrashPoint() bool {
 	sc.crashPoints[sc.execIdx]++
+	if sc.capture != nil && sc.capture.execIdx == sc.execIdx {
+		sc.capture.observe(sc)
+	}
 	return sc.crashPlan[sc.execIdx] == sc.crashPoints[sc.execIdx]
 }
 
@@ -449,8 +491,9 @@ func (t *threadOps) sync() {
 		panic(errCrash)
 	}
 	t.sc.opCount++
-	if t.sc.opCount > MaxOpsPerExecution {
-		panic(fmt.Sprintf("engine: execution exceeded %d operations (runaway workload?)", MaxOpsPerExecution))
+	t.sc.stats.SimulatedOps++
+	if max := t.sc.opts.MaxOps; max > 0 && t.sc.opCount > max {
+		panic(fmt.Sprintf("engine: execution exceeded %d operations (runaway workload?)", max))
 	}
 }
 

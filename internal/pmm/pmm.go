@@ -175,6 +175,39 @@ func (h *Heap) place(size int) Addr {
 	return base
 }
 
+// Clone returns an independent copy of the heap's allocation state.
+// Allocation layouts are shared (they are immutable once built). Handles
+// (Struct, Array) held by program closures keep pointing at the heap they
+// were allocated from — a clone does not retarget them. The engine's
+// checkpoint layer therefore pairs Clone with Restore: it re-runs the
+// program's Setup against a fresh heap (recreating the closure handles) and
+// grafts the cloned state into that heap object.
+func (h *Heap) Clone() *Heap {
+	return &Heap{
+		next:   h.next,
+		allocs: append([]allocation(nil), h.allocs...),
+		inits:  append([]InitWrite(nil), h.inits...),
+	}
+}
+
+// Restore overwrites h's allocation state with a copy of src's. Handles
+// pointing at h stay valid and resolve against the restored state; src is
+// not aliased and may be restored into any number of heaps.
+func (h *Heap) Restore(src *Heap) {
+	h.next = src.next
+	h.allocs = append(h.allocs[:0:0], src.allocs...)
+	h.inits = append(h.inits[:0:0], src.inits...)
+}
+
+// AllocCount returns the number of allocations made so far. Together with
+// NextFree it fingerprints the heap's shape — the engine's checkpoint layer
+// uses the pair to verify that a re-run Setup produced the same allocations
+// before grafting snapshot state onto it.
+func (h *Heap) AllocCount() int { return len(h.allocs) }
+
+// NextFree returns the next unallocated address.
+func (h *Heap) NextFree() Addr { return h.next }
+
 // Init records a fully-persisted initial value for (addr, size). The engine
 // applies Init writes to the persistent image before execution begins.
 func (h *Heap) Init(addr Addr, size int, val uint64) {
@@ -220,6 +253,9 @@ func (a Array) At(i int) Struct {
 // Len returns the number of elements.
 func (a Array) Len() int { return a.count }
 
+// Label returns the array's allocation label.
+func (a Array) Label() string { return a.label }
+
 // Base returns the array's base address.
 func (a Array) Base() Addr { return a.base }
 
@@ -238,6 +274,58 @@ func (h *Heap) findAlloc(addr Addr) *allocation {
 		return nil
 	}
 	return a
+}
+
+// StructAt reattaches a Struct handle to a persisted pointer: it returns
+// the handle of the struct instance whose base address is exactly a, or
+// ok=false if a is not the base of a structured allocation's element.
+//
+// This is the Go analog of casting a pointer loaded from persistent memory
+// in recovery code. A benchmark program that allocates structs during its
+// workload cannot rely on Go-side handle registries to survive a crash —
+// recovery runs in what is conceptually a fresh process (and, in this
+// engine, possibly a scenario resumed from a checkpoint that never executed
+// the workload closures) — so it resolves child pointers read from the heap
+// through StructAt instead.
+func (h *Heap) StructAt(a Addr) (Struct, bool) {
+	al := h.findAlloc(a)
+	if al == nil || al.layout == nil {
+		return Struct{}, false
+	}
+	off := int(a - al.base)
+	if off%al.stride != 0 || off/al.stride >= al.count {
+		return Struct{}, false
+	}
+	return Struct{heap: h, base: a, layout: al.layout, label: al.label}, true
+}
+
+// FieldCount returns the number of declared fields in the struct's layout;
+// programs use it to discriminate variants reattached via StructAt (e.g.
+// adaptive tree nodes whose capacity is encoded in their field count).
+func (s Struct) FieldCount() int { return len(s.layout.fields) }
+
+// ArrayAt reattaches an Array handle to a persisted pointer: it returns the
+// handle of the array allocation whose base address is exactly a, or
+// ok=false if a is not the base of a structured allocation. Like StructAt,
+// this is for recovery code resolving pointers read from persistent memory.
+func (h *Heap) ArrayAt(a Addr) (Array, bool) {
+	al := h.findAlloc(a)
+	if al == nil || al.layout == nil || al.base != a {
+		return Array{}, false
+	}
+	return Array{heap: h, base: al.base, layout: al.layout, label: al.label, count: al.count, stride: al.stride}, true
+}
+
+// NextAllocBase returns the base address of the allocation made immediately
+// after the one containing a. Programs whose logical objects span two
+// consecutive allocations (e.g. a node header plus its entry array) use it
+// to reattach the companion allocation from the first one's address.
+func (h *Heap) NextAllocBase(a Addr) (Addr, bool) {
+	i := sort.Search(len(h.allocs), func(i int) bool { return h.allocs[i].base > a })
+	if i >= len(h.allocs) {
+		return 0, false
+	}
+	return h.allocs[i].base, true
 }
 
 // LabelFor renders a human-readable name for an address: "Obj.field",

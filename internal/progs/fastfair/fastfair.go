@@ -108,11 +108,34 @@ func (tr *Tree) newNodeRuntime(t *pmm.Thread, level uint64, leftmost uint64) *no
 	return n
 }
 
+// node resolves a node pointer loaded from persistent memory. The nodes map
+// is the warm path; on a miss (fresh-process recovery, where the map holds
+// only Setup-time entries) the node is reattached from the heap itself: a
+// node is a "header" struct allocation immediately followed by its "entry"
+// array allocation, mirroring how a real recovery procedure casts a mapped
+// PM offset back to node*.
 func (tr *Tree) node(addr uint64) *node {
 	if addr == NullPtr {
 		return nil
 	}
-	return tr.nodes[addr]
+	if n, ok := tr.nodes[addr]; ok {
+		return n
+	}
+	hdr, ok := tr.h.StructAt(pmm.Addr(addr))
+	if !ok || hdr.Label() != "header" {
+		return nil
+	}
+	entBase, ok := tr.h.NextAllocBase(pmm.Addr(addr))
+	if !ok {
+		return nil
+	}
+	entries, ok := tr.h.ArrayAt(entBase)
+	if !ok || entries.Label() != "entry" {
+		return nil
+	}
+	n := &node{hdr: hdr, entries: entries}
+	tr.nodes[addr] = n
+	return n
 }
 
 // count reads last_index (entry count) — a race-observing load post-crash.

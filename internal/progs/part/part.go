@@ -139,6 +139,54 @@ func (tr *Tree) allocLeaf(t *pmm.Thread, value uint64) uint64 {
 	return uint64(l.Base())
 }
 
+// nodeAt resolves a child pointer to a node handle. The registry covers
+// nodes this Tree instance allocated; a miss falls back to reattaching
+// through the heap (pmm.StructAt) — recovery code conceptually runs in a
+// fresh process (and, under the engine's checkpoint layer, in a scenario
+// whose workload closures never executed), so handles must be derivable
+// from the persisted pointer alone. A node's capacity is encoded in its
+// field count: 3 header fields plus a key byte and a child per slot.
+func (tr *Tree) nodeAt(addr uint64) (*node, bool) {
+	if n, ok := tr.nodes[addr]; ok {
+		return n, true
+	}
+	st, ok := tr.h.StructAt(pmm.Addr(addr))
+	if !ok || st.Label() != "N" {
+		return nil, false
+	}
+	n := &node{s: st, cap: (st.FieldCount() - 3) / 2}
+	tr.nodes[addr] = n
+	return n, true
+}
+
+// leafAt resolves a leaf pointer, reattaching through the heap on a
+// registry miss (see nodeAt).
+func (tr *Tree) leafAt(addr uint64) (pmm.Struct, bool) {
+	if l, ok := tr.leaves[addr]; ok {
+		return l, true
+	}
+	st, ok := tr.h.StructAt(pmm.Addr(addr))
+	if !ok || st.Label() != "leaf" {
+		return pmm.Struct{}, false
+	}
+	tr.leaves[addr] = st
+	return st, true
+}
+
+// labelAt resolves a LabelDelete pointer, reattaching through the heap on a
+// registry miss (see nodeAt).
+func (tr *Tree) labelAt(addr uint64) (pmm.Struct, bool) {
+	if ld, ok := tr.labels[addr]; ok {
+		return ld, true
+	}
+	st, ok := tr.h.StructAt(pmm.Addr(addr))
+	if !ok || st.Label() != "LabelDelete" {
+		return pmm.Struct{}, false
+	}
+	tr.labels[addr] = st
+	return st, true
+}
+
 // findSlot scans a node's compact slots for a key byte.
 func (tr *Tree) findSlot(t *pmm.Thread, n *node, kb uint8) int {
 	cc := t.Load16(n.s.F("compactCount"))
@@ -247,7 +295,7 @@ func (tr *Tree) insertAt(t *pmm.Thread, n *node, parent *node, parentSlot int, l
 		// Leaf level: install or replace the value leaf.
 		if slot >= 0 {
 			leafAddr := tr.childAt(t, n, slot)
-			if l, ok := tr.leaves[leafAddr]; ok {
+			if l, ok := tr.leafAt(leafAddr); ok {
 				t.StoreAtomic(l.F("value"), 8, value)
 				t.Persist(l.F("value"), 8)
 				return
@@ -267,7 +315,7 @@ func (tr *Tree) insertAt(t *pmm.Thread, n *node, parent *node, parentSlot int, l
 	// Interior level: descend, creating the child node if needed.
 	if slot >= 0 {
 		childAddr := tr.childAt(t, n, slot)
-		if child, ok := tr.nodes[childAddr]; ok {
+		if child, ok := tr.nodeAt(childAddr); ok {
 			tr.insertAt(t, child, n, slot, level+1, key, value)
 			return
 		}
@@ -305,13 +353,13 @@ func (tr *Tree) Lookup(t *pmm.Thread, key uint64) (uint64, bool) {
 		}
 		child := tr.childAt(t, n, slot)
 		if level == Depth-1 {
-			l, ok := tr.leaves[child]
+			l, ok := tr.leafAt(child)
 			if !ok {
 				return 0, false
 			}
 			return t.LoadAcquire(l.F("value"), 8), true
 		}
-		next, ok := tr.nodes[child]
+		next, ok := tr.nodeAt(child)
 		if !ok {
 			return 0, false
 		}
@@ -328,7 +376,7 @@ func (tr *Tree) Remove(t *pmm.Thread, key uint64) bool {
 		if slot < 0 {
 			return false
 		}
-		next, ok := tr.nodes[tr.childAt(t, n, slot)]
+		next, ok := tr.nodeAt(tr.childAt(t, n, slot))
 		if !ok {
 			return false
 		}
@@ -353,7 +401,7 @@ func (tr *Tree) RecoverEpoche(t *pmm.Thread) {
 	_ = t.Load8(tr.dl.F("added"))
 	_ = t.Load64(tr.dl.F("thresholdCounter"))
 	head := t.Load64(tr.dl.F("headDeletionList"))
-	if ld, ok := tr.labels[head]; ok {
+	if ld, ok := tr.labelAt(head); ok {
 		_ = t.Load64(ld.F("nodesCount"))
 	}
 }

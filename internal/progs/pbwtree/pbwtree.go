@@ -77,6 +77,23 @@ func (tr *Tree) newDelta(t *pmm.Thread, kind, key, value, next uint64) uint64 {
 	return uint64(d.Base())
 }
 
+// deltaAt resolves a delta pointer loaded from persistent memory. The
+// deltas map is the warm path; on a miss (fresh-process recovery, where the
+// map holds only Setup-time entries) the record is reattached from the heap
+// itself, mirroring how recovery code casts a mapped PM offset back to a
+// delta record pointer.
+func (tr *Tree) deltaAt(addr uint64) (pmm.Struct, bool) {
+	if d, ok := tr.deltas[addr]; ok {
+		return d, true
+	}
+	d, ok := tr.h.StructAt(pmm.Addr(addr))
+	if !ok || d.Label() != "delta" {
+		return pmm.Struct{}, false
+	}
+	tr.deltas[addr] = d
+	return d, true
+}
+
 // publish CAS-installs a delta as the new chain head and persists the head.
 func (tr *Tree) publish(t *pmm.Thread, slot pmm.Struct, old, delta uint64) bool {
 	if !t.CAS64(slot.F("head"), old, delta) {
@@ -122,7 +139,7 @@ func (tr *Tree) Get(t *pmm.Thread, key uint64) (uint64, bool) {
 	slot := tr.table.At(slotOf(key))
 	cur := t.LoadAcquire64(slot.F("head"))
 	for hops := 0; cur != 0 && hops < 1024; hops++ {
-		d, ok := tr.deltas[cur]
+		d, ok := tr.deltaAt(cur)
 		if !ok {
 			return 0, false
 		}
@@ -149,7 +166,7 @@ func (tr *Tree) maybeConsolidate(t *pmm.Thread, slot pmm.Struct) {
 	seen := map[uint64]bool{}
 	length := 0
 	for cur := head; cur != 0; length++ {
-		d, ok := tr.deltas[cur]
+		d, ok := tr.deltaAt(cur)
 		if !ok {
 			break
 		}

@@ -45,14 +45,24 @@ func NewTable(h *pmm.Heap) *Table {
 	return &Table{h: h, buckets: h.AllocArray("bucket_t", bucketLayout, NumBuckets), overflow: make(map[uint64]pmm.Struct)}
 }
 
-// nextBucket follows an overflow link (atomic load).
+// nextBucket follows an overflow link (atomic load). The overflow map is
+// the warm path; on a miss (fresh-process recovery, where the map holds
+// only Setup-time entries) the bucket is reattached from the heap itself,
+// mirroring how recovery code casts a mapped PM offset back to bucket_t*.
 func (tb *Table) nextBucket(t *pmm.Thread, b pmm.Struct) (pmm.Struct, bool) {
 	addr := t.LoadAcquire64(b.F("next"))
 	if addr == 0 {
 		return pmm.Struct{}, false
 	}
-	ob, ok := tb.overflow[addr]
-	return ob, ok
+	if ob, ok := tb.overflow[addr]; ok {
+		return ob, true
+	}
+	ob, ok := tb.h.StructAt(pmm.Addr(addr))
+	if !ok || ob.Label() != "bucket_t" {
+		return pmm.Struct{}, false
+	}
+	tb.overflow[addr] = ob
+	return ob, true
 }
 
 // addOverflow allocates, persists and atomically publishes a fresh overflow

@@ -95,11 +95,25 @@ func NewTree(h *pmm.Heap) *Tree {
 	return tr
 }
 
+// leafAt resolves a leaf pointer loaded from persistent memory. The leaves
+// map is the warm path; on a miss (fresh-process recovery, where the map
+// holds only Setup-time entries) the leaf is reattached from the heap
+// itself, mirroring how recovery code casts a mapped PM offset back to a
+// leafnode pointer.
 func (tr *Tree) leafAt(addr uint64) *leaf {
 	if addr == 0 {
 		return nil
 	}
-	return tr.leaves[addr]
+	if l, ok := tr.leaves[addr]; ok {
+		return l
+	}
+	s, ok := tr.h.StructAt(pmm.Addr(addr))
+	if !ok || s.Label() != "leafnode" {
+		return nil
+	}
+	l := &leaf{s: s}
+	tr.leaves[addr] = l
+	return l
 }
 
 // newLeafRuntime allocates a leaf during execution; construction-time
@@ -306,14 +320,35 @@ func (tr *Tree) InsertLong(t *pmm.Thread, k1, k2, value uint64) {
 	sub.Insert(t, k2, value)
 }
 
-// GetLong looks a 16-byte key up through the layers.
+// GetLong looks a 16-byte key up through the layers. The sub-tree handle is
+// resolved from the value stored in the top layer's slot (not from the
+// Go-side layers map alone), so the walk works identically in fresh-process
+// recovery where the layers map is empty.
 func (tr *Tree) GetLong(t *pmm.Thread, k1, k2 uint64) (uint64, bool) {
-	sub, ok := tr.layers[k1]
-	if !ok {
+	subBase, found := tr.Get(t, k1)
+	if !found {
 		return 0, false
 	}
-	if _, found := tr.Get(t, k1); !found {
+	sub := tr.layerAt(k1, subBase)
+	if sub == nil {
 		return 0, false
 	}
 	return sub.Get(t, k2)
+}
+
+// layerAt resolves the next-layer tree published under prefix k1 whose
+// masstree struct lives at base. The layers map is the warm path; on a miss
+// the layer is reattached from the heap (empty Go-side registries — its
+// leaves resolve lazily through leafAt).
+func (tr *Tree) layerAt(k1, base uint64) *Tree {
+	if sub, ok := tr.layers[k1]; ok {
+		return sub
+	}
+	mt, ok := tr.h.StructAt(pmm.Addr(base))
+	if !ok || mt.Label() != "masstree" {
+		return nil
+	}
+	sub := &Tree{h: tr.h, mt: mt, leaves: make(map[uint64]*leaf), layers: make(map[uint64]*Tree)}
+	tr.layers[k1] = sub
+	return sub
 }

@@ -197,6 +197,22 @@ func (s *Set) AttachWitnesses(build func(Race) string) {
 	}
 }
 
+// Clone returns an independent copy of the set: mutating either side
+// afterwards (Add, Merge, AttachWitnesses) leaves the other untouched. The
+// engine's checkpoint layer clones the set captured at a snapshot point so
+// every resumed scenario starts from the same accumulated reports.
+func (s *Set) Clone() *Set {
+	c := &Set{
+		byKey:    make(map[string]Race, len(s.byKey)),
+		order:    append([]string(nil), s.order...),
+		RawCount: s.RawCount,
+	}
+	for k, r := range s.byKey {
+		c.byKey[k] = r
+	}
+	return c
+}
+
 // Merge adds every race from other into s. Merging is commutative up to
 // the observable output: whatever order sets are merged in, Races(),
 // Benign(), Fields() and String() render the same races with the same

@@ -31,6 +31,11 @@ import (
 // results are identical for every value (see engine.Options.Workers).
 var Workers int
 
+// Checkpoint is the checkpoint mode every table run uses (default on).
+// cmd/yashme-tables sets it from -checkpoint; results are identical either
+// way (see engine.Options.Checkpoint).
+var Checkpoint engine.CheckpointMode
+
 // Spec describes one benchmark program and how the paper evaluated it.
 type Spec struct {
 	// Name is the benchmark name as it appears in the paper's tables.
@@ -114,7 +119,7 @@ func Table3() []RaceRow {
 	var rows []RaceRow
 	idx := 1
 	for _, spec := range IndexSpecs() {
-		res := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: Workers})
+		res := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: Workers, Checkpoint: Checkpoint})
 		for _, f := range res.Report.Fields() {
 			rows = append(rows, RaceRow{Index: idx, Benchmark: spec.Name, Field: f})
 			idx++
@@ -129,7 +134,7 @@ func Table3() []RaceRow {
 func Table4() []RaceRow {
 	set := report.NewSet()
 	run := func(mk func() pmm.Program) {
-		res := engine.Run(mk, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: 1, Executions: 40, Workers: Workers})
+		res := engine.Run(mk, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: 1, Executions: 40, Workers: Workers, Checkpoint: Checkpoint})
 		set.Merge(res.Report)
 	}
 	run(pmdk.NewPMDKProg(3, nil))
@@ -176,15 +181,15 @@ func Table5() []Table5Row {
 		row := Table5Row{Benchmark: spec.Name, PaperPrefix: spec.PaperPrefix, PaperBaseline: spec.PaperBaseline}
 
 		start := time.Now()
-		p := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, Workers: Workers})
+		p := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, Workers: Workers, Checkpoint: Checkpoint})
 		row.YashmeTime = time.Since(start)
 		row.Prefix = p.Report.Count()
 
-		b := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: false, Seed: spec.Table5Seed, Executions: 1, Workers: Workers})
+		b := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: false, Seed: spec.Table5Seed, Executions: 1, Workers: Workers, Checkpoint: Checkpoint})
 		row.Baseline = b.Report.Count()
 
 		start = time.Now()
-		engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, DetectorOff: true, Workers: Workers})
+		engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, DetectorOff: true, Workers: Workers, Checkpoint: Checkpoint})
 		row.JaaruTime = time.Since(start)
 
 		rows = append(rows, row)
@@ -218,7 +223,7 @@ func Table5Text(rows []Table5Row) string {
 func BenignRaces() []report.Race {
 	set := report.NewSet()
 	run := func(mk func() pmm.Program, cap int) {
-		res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: cap, Workers: Workers})
+		res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: cap, Workers: Workers, Checkpoint: Checkpoint})
 		set.Merge(res.Report)
 	}
 	run(pmdk.NewPMDKProg(3, nil), 60)
@@ -318,8 +323,8 @@ func BugIndexText() string {
 // points (any consistent prefix works); the baseline needs the crash inside
 // a store→flush window.
 func WindowText(spec Spec) string {
-	p := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: Workers})
-	b := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: false, Workers: Workers})
+	p := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: Workers, Checkpoint: Checkpoint})
+	b := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: false, Workers: Workers, Checkpoint: Checkpoint})
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s: races revealed per crash point (0 = crash at completion)\n", spec.Name)
 	fmt.Fprintf(&sb, "%-7s %-8s %s\n", "point", "prefix", "baseline")

@@ -122,6 +122,18 @@ func NewRecorder(inner tso.Listener, labeler func(pmm.Addr) string) *Recorder {
 	return &Recorder{Inner: inner, Labeler: labeler}
 }
 
+// Clone returns a recorder with a copy of the event log and the current
+// execution index, forwarding subsequent events to inner with labeler (both
+// may be nil, as in NewRecorder). The engine's checkpoint layer clones the
+// log at a snapshot point and rewires each resumed scenario's copy to that
+// scenario's own detector and heap.
+func (r *Recorder) Clone(inner tso.Listener, labeler func(pmm.Addr) string) *Recorder {
+	c := NewRecorder(inner, labeler)
+	c.events = append([]Event(nil), r.events...)
+	c.exec = r.exec
+	return c
+}
+
 // SetExec switches the execution index for subsequent events.
 func (r *Recorder) SetExec(i int) { r.exec = i }
 

@@ -146,6 +146,50 @@ func NewMachine(listener Listener) *Machine {
 	}
 }
 
+// Clone returns an independent machine with the same buffered and committed
+// state, reporting subsequent events to listener (nil = NopListener).
+// Committed store records are shared with the original: a CommittedStore is
+// immutable once committed (its clock vector is snapshotted at commit time).
+// Store buffers, flush buffers and per-thread clocks are deep-copied, so the
+// two machines may run on independently.
+//
+// The engine's checkpoint layer deliberately does NOT snapshot machines: a
+// crash discards every buffered operation by definition, and each post-crash
+// machine is freshly seeded from the persisted image, so a snapshot only
+// needs CurSeq (see internal/engine/checkpoint.go). Clone keeps the storage
+// system snapshottable for tooling and tests regardless.
+func (m *Machine) Clone(listener Listener) *Machine {
+	if listener == nil {
+		listener = NopListener{}
+	}
+	c := &Machine{
+		listener: listener,
+		seq:      m.seq,
+		sb:       make(map[vclock.TID][]SBEntry, len(m.sb)),
+		fb:       make(map[vclock.TID][]FBEntry, len(m.fb)),
+		cv:       make(map[vclock.TID]vclock.VC, len(m.cv)),
+		mem:      make(map[pmm.Addr]*CommittedStore, len(m.mem)),
+	}
+	for t, buf := range m.sb {
+		c.sb[t] = append([]SBEntry(nil), buf...)
+	}
+	for t, buf := range m.fb {
+		nb := make([]FBEntry, len(buf))
+		for i, e := range buf {
+			e.CV = e.CV.Clone()
+			nb[i] = e
+		}
+		c.fb[t] = nb
+	}
+	for t, vc := range m.cv {
+		c.cv[t] = vc.Clone()
+	}
+	for a, rec := range m.mem {
+		c.mem[a] = rec
+	}
+	return c
+}
+
 // SeedMemory installs an initial, already-persisted value. Seeded values
 // have Seq 0 and carry no clock: they predate the execution.
 func (m *Machine) SeedMemory(addr pmm.Addr, size int, val uint64) {
