@@ -41,6 +41,7 @@ func figure1() yashme.Program {
 // BenchmarkFigure1 (E1): detect the Figure 1 persistency race by model
 // checking the example program.
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	races := 0
 	for i := 0; i < b.N; i++ {
 		res := yashme.Run(figure1, yashme.Options{Mode: yashme.ModelCheck, Prefix: true})
@@ -51,6 +52,7 @@ func BenchmarkFigure1(b *testing.B) {
 
 // BenchmarkTable2a (E2): regenerate the compiler store-optimization study.
 func BenchmarkTable2a(b *testing.B) {
+	b.ReportAllocs()
 	rows := 0
 	for i := 0; i < b.N; i++ {
 		rows = len(compiler.Table2a())
@@ -60,6 +62,7 @@ func BenchmarkTable2a(b *testing.B) {
 
 // BenchmarkTable2b (E3): regenerate the source-vs-assembly memop counts.
 func BenchmarkTable2b(b *testing.B) {
+	b.ReportAllocs()
 	rows := 0
 	for i := 0; i < b.N; i++ {
 		rows = len(compiler.Table2b())
@@ -69,6 +72,7 @@ func BenchmarkTable2b(b *testing.B) {
 
 // BenchmarkTable3 (E4): model-check the six PM indexes; 19 races.
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	races := 0
 	for i := 0; i < b.N; i++ {
 		races = len(tables.Table3())
@@ -84,6 +88,7 @@ func BenchmarkTable3Parallel(b *testing.B) {
 	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 		workers := workers
 		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
 			races := 0
 			for i := 0; i < b.N; i++ {
 				races = 0
@@ -110,6 +115,8 @@ func BenchmarkTable3Checkpoint(b *testing.B) {
 		NsPerOp      int64   `json:"ns_per_op"`
 		SimulatedOps int64   `json:"simulated_ops"`
 		Races        float64 `json:"races"`
+		AllocsPerOp  uint64  `json:"allocs_per_op"`
+		BytesPerOp   uint64  `json:"bytes_per_op"`
 	}
 	results := map[string]*measurement{}
 	for _, ck := range []struct {
@@ -123,8 +130,14 @@ func BenchmarkTable3Checkpoint(b *testing.B) {
 		m := &measurement{}
 		results[ck.name] = m
 		b.Run("checkpoint-"+ck.name, func(b *testing.B) {
+			b.ReportAllocs()
 			races := 0
 			var simOps int64
+			// The testing package's alloc counters aren't readable from inside
+			// the benchmark, so mirror them with ReadMemStats deltas for the
+			// JSON artifact. Counts match -benchmem up to GC bookkeeping noise.
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			for i := 0; i < b.N; i++ {
 				races, simOps = 0, 0
 				for _, spec := range tables.IndexSpecs() {
@@ -134,11 +147,14 @@ func BenchmarkTable3Checkpoint(b *testing.B) {
 					simOps += res.Stats.SimulatedOps
 				}
 			}
+			runtime.ReadMemStats(&after)
 			b.ReportMetric(float64(races), "races")
 			b.ReportMetric(float64(simOps), "simops")
 			m.NsPerOp = b.Elapsed().Nanoseconds() / int64(b.N)
 			m.SimulatedOps = simOps
 			m.Races = float64(races)
+			m.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(b.N)
+			m.BytesPerOp = (after.TotalAlloc - before.TotalAlloc) / uint64(b.N)
 		})
 	}
 	artifact := struct {
@@ -162,6 +178,7 @@ func BenchmarkTable3Checkpoint(b *testing.B) {
 // BenchmarkTable4 (E5): random-mode sweep of PMDK, Memcached, Redis;
 // 5 races.
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	races := 0
 	for i := 0; i < b.N; i++ {
 		races = len(tables.Table4())
@@ -177,6 +194,7 @@ func BenchmarkTable5(b *testing.B) {
 	for _, spec := range tables.AllSpecs() {
 		spec := spec
 		b.Run(spec.Name+"/yashme-prefix", func(b *testing.B) {
+			b.ReportAllocs()
 			races := 0
 			for i := 0; i < b.N; i++ {
 				res := engine.Run(spec.Make, engine.Options{
@@ -186,6 +204,7 @@ func BenchmarkTable5(b *testing.B) {
 			b.ReportMetric(float64(races), "races")
 		})
 		b.Run(spec.Name+"/yashme-baseline", func(b *testing.B) {
+			b.ReportAllocs()
 			races := 0
 			for i := 0; i < b.N; i++ {
 				res := engine.Run(spec.Make, engine.Options{
@@ -195,6 +214,7 @@ func BenchmarkTable5(b *testing.B) {
 			b.ReportMetric(float64(races), "races")
 		})
 		b.Run(spec.Name+"/jaaru", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				engine.Run(spec.Make, engine.Options{
 					Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed,
@@ -206,6 +226,7 @@ func BenchmarkTable5(b *testing.B) {
 
 // BenchmarkBenign (E7): the §7.5 benign checksum-race inventory; 10 races.
 func BenchmarkBenign(b *testing.B) {
+	b.ReportAllocs()
 	races := 0
 	for i := 0; i < b.N; i++ {
 		races = len(tables.BenignRaces())
@@ -216,6 +237,7 @@ func BenchmarkBenign(b *testing.B) {
 // BenchmarkPrefixExpansion (E8): the §4.2 multithreaded scenario where no
 // crash point exposes the race but the prefix analysis derives it.
 func BenchmarkPrefixExpansion(b *testing.B) {
+	b.ReportAllocs()
 	mk := func() yashme.Program {
 		var z, f yashme.Addr
 		return yashme.Program{
@@ -252,6 +274,7 @@ func BenchmarkAblationPrefix(b *testing.B) {
 			name = "prefix-off"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			total := 0
 			for i := 0; i < b.N; i++ {
 				total = 0
@@ -277,6 +300,7 @@ func BenchmarkAblationDetectorOverhead(b *testing.B) {
 			name = "detector-off"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				engine.Run(spec.Make, engine.Options{
 					Mode: engine.ModelCheck, Prefix: true, DetectorOff: off})
@@ -297,6 +321,7 @@ func BenchmarkAblationPersistPolicy(b *testing.B) {
 	for name, pp := range policies {
 		pp := pp
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			races := 0
 			for i := 0; i < b.N; i++ {
 				res := engine.Run(spec.Make, engine.Options{
@@ -313,6 +338,7 @@ func BenchmarkAblationPersistPolicy(b *testing.B) {
 func BenchmarkAblationModeComparison(b *testing.B) {
 	spec := tables.IndexSpecs()[5] // P-Masstree
 	b.Run("model-check", func(b *testing.B) {
+		b.ReportAllocs()
 		races := 0
 		for i := 0; i < b.N; i++ {
 			res := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true})
@@ -323,6 +349,7 @@ func BenchmarkAblationModeComparison(b *testing.B) {
 	for _, execs := range []int{1, 10, 40} {
 		execs := execs
 		b.Run("random-"+itoa(execs), func(b *testing.B) {
+			b.ReportAllocs()
 			races := 0
 			for i := 0; i < b.N; i++ {
 				res := engine.Run(spec.Make, engine.Options{
@@ -351,6 +378,7 @@ func itoa(n int) string {
 // BenchmarkRecoveryCrashes (multi-crash exploration, §6 exec stack): cost
 // of exploring second crashes inside the recovery procedure.
 func BenchmarkRecoveryCrashes(b *testing.B) {
+	b.ReportAllocs()
 	spec := tables.FrameworkSpecs()[4] // hashmap-tx
 	for i := 0; i < b.N; i++ {
 		engine.Run(spec.Make, engine.Options{
@@ -403,6 +431,7 @@ func BenchmarkAblationReadExploration(b *testing.B) {
 		}
 		explore := explore
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			races, execs := 0, 0
 			for i := 0; i < b.N; i++ {
 				res := engine.Run(spec.Make, engine.Options{
@@ -428,6 +457,7 @@ func BenchmarkAblationCandidateWidth(b *testing.B) {
 		}
 		limit := limit
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			races := 0
 			for i := 0; i < b.N; i++ {
 				res := engine.Run(spec.Make, engine.Options{
@@ -445,6 +475,7 @@ func BenchmarkAblationCandidateWidth(b *testing.B) {
 // persistency races.
 func BenchmarkRelatedWorkComparison(b *testing.B) {
 	b.Run("yashme", func(b *testing.B) {
+		b.ReportAllocs()
 		races := 0
 		for i := 0; i < b.N; i++ {
 			res := yashme.Run(ccehProg(), yashme.Options{Mode: yashme.ModelCheck, Prefix: true})
@@ -453,6 +484,7 @@ func BenchmarkRelatedWorkComparison(b *testing.B) {
 		b.ReportMetric(float64(races), "persistency-races")
 	})
 	b.Run("cross-failure", func(b *testing.B) {
+		b.ReportAllocs()
 		races := 0
 		for i := 0; i < b.N; i++ {
 			races = xfd.Run(ccehProg()).Count()

@@ -1,0 +1,158 @@
+// Package addridx interns persistent-memory addresses as dense table slots.
+//
+// The simulated heap (internal/pmm) allocates line-aligned objects densely
+// from CacheLineSize upward, so the live Addr space is a compact integer
+// range: the identity map IS the interning function. Tables here exploit
+// that — per-address and per-line state lives in slices indexed directly by
+// the address (or line number), growing on demand to the highest address
+// touched. Lookups are a bounds check plus an indexed load, and Clone is a
+// single flat copy, which is what makes the detector and checkpoint layers'
+// snapshot clones cheap.
+//
+// The dense layout relies on the heap staying small (kilobytes, per
+// pmm.Heap's working sets); maxSlots guards against a corrupt address
+// exploding a table.
+package addridx
+
+import (
+	"fmt"
+
+	"yashme/internal/pmm"
+)
+
+// maxSlots bounds table growth: the simulated heaps are a few kilobytes, so
+// an index this large is a corrupt address, not an allocation.
+const maxSlots = 1 << 24
+
+// Table is a dense table of per-address state, indexed directly by Addr.
+// The zero value is an empty table ready for use. A slot outside the grown
+// range reads as T's zero value.
+type Table[T any] struct {
+	slots []T
+}
+
+// grow extends the table so slot i is addressable. Growth is geometric so a
+// rising high-water mark costs amortized O(1) reallocations; the spare
+// capacity is zeroed by make and only ever exposed through this function, so
+// re-slicing into it is safe.
+func growSlots[T any](slots []T, i int) []T {
+	if i < 0 || i >= maxSlots {
+		panic(fmt.Sprintf("addridx: slot %d out of range [0, %d)", i, maxSlots))
+	}
+	if i < len(slots) {
+		return slots
+	}
+	if i < cap(slots) {
+		return slots[:i+1]
+	}
+	newCap := 2 * cap(slots)
+	if newCap < i+1 {
+		newCap = i + 1
+	}
+	if newCap > maxSlots {
+		newCap = maxSlots
+	}
+	n := make([]T, i+1, newCap)
+	copy(n, slots)
+	return n
+}
+
+// At returns the state for a, or T's zero value if never set.
+func (t *Table[T]) At(a pmm.Addr) T {
+	if int(a) >= len(t.slots) {
+		var zero T
+		return zero
+	}
+	return t.slots[a]
+}
+
+// Ptr returns a pointer to the slot for a, growing the table as needed. The
+// pointer is invalidated by the next growth; do not retain it across Set/Ptr
+// calls for other addresses.
+func (t *Table[T]) Ptr(a pmm.Addr) *T {
+	t.slots = growSlots(t.slots, int(a))
+	return &t.slots[a]
+}
+
+// Set stores v as the state for a, growing the table as needed.
+func (t *Table[T]) Set(a pmm.Addr, v T) {
+	t.slots = growSlots(t.slots, int(a))
+	t.slots[a] = v
+}
+
+// Clone returns an independent flat copy of the table. Slot values are
+// copied shallowly: reference-typed state must be immutable or cloned by the
+// caller.
+func (t *Table[T]) Clone() Table[T] {
+	if len(t.slots) == 0 {
+		return Table[T]{}
+	}
+	n := make([]T, len(t.slots))
+	copy(n, t.slots)
+	return Table[T]{slots: n}
+}
+
+// Len returns one past the highest slot ever grown to.
+func (t *Table[T]) Len() int { return len(t.slots) }
+
+// ForEach calls f for every grown slot in ascending address order, including
+// zero-valued ones; f returns false to stop early.
+func (t *Table[T]) ForEach(f func(pmm.Addr, T) bool) {
+	for i, v := range t.slots {
+		if !f(pmm.Addr(i), v) {
+			return
+		}
+	}
+}
+
+// LineTable is a dense table of per-cache-line state indexed by Line (which
+// pmm already numbers densely: Line = Addr / CacheLineSize). The zero value
+// is an empty table ready for use.
+type LineTable[T any] struct {
+	slots []T
+}
+
+// At returns the state for l, or T's zero value if never set.
+func (t *LineTable[T]) At(l pmm.Line) T {
+	if int(l) >= len(t.slots) {
+		var zero T
+		return zero
+	}
+	return t.slots[l]
+}
+
+// Ptr returns a pointer to the slot for l, growing the table as needed. The
+// pointer is invalidated by the next growth.
+func (t *LineTable[T]) Ptr(l pmm.Line) *T {
+	t.slots = growSlots(t.slots, int(l))
+	return &t.slots[l]
+}
+
+// Set stores v as the state for l, growing the table as needed.
+func (t *LineTable[T]) Set(l pmm.Line, v T) {
+	t.slots = growSlots(t.slots, int(l))
+	t.slots[l] = v
+}
+
+// Clone returns an independent flat copy; slot values are copied shallowly.
+func (t *LineTable[T]) Clone() LineTable[T] {
+	if len(t.slots) == 0 {
+		return LineTable[T]{}
+	}
+	n := make([]T, len(t.slots))
+	copy(n, t.slots)
+	return LineTable[T]{slots: n}
+}
+
+// Len returns one past the highest slot ever grown to.
+func (t *LineTable[T]) Len() int { return len(t.slots) }
+
+// ForEach calls f for every grown slot in ascending line order, including
+// zero-valued ones; f returns false to stop early.
+func (t *LineTable[T]) ForEach(f func(pmm.Line, T) bool) {
+	for i, v := range t.slots {
+		if !f(pmm.Line(i), v) {
+			return
+		}
+	}
+}

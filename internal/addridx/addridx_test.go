@@ -1,0 +1,101 @@
+package addridx
+
+import (
+	"testing"
+
+	"yashme/internal/pmm"
+)
+
+func TestTableZeroValueReads(t *testing.T) {
+	var tab Table[int]
+	if got := tab.At(0x1000); got != 0 {
+		t.Fatalf("empty table At = %d, want 0", got)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("empty table Len = %d", tab.Len())
+	}
+}
+
+func TestTableSetAtPtr(t *testing.T) {
+	var tab Table[int]
+	tab.Set(0x40, 7)
+	if got := tab.At(0x40); got != 7 {
+		t.Fatalf("At after Set = %d, want 7", got)
+	}
+	if got := tab.At(0x39); got != 0 {
+		t.Fatalf("unset slot = %d, want 0", got)
+	}
+	*tab.Ptr(0x48) = 9
+	if got := tab.At(0x48); got != 9 {
+		t.Fatalf("At after Ptr write = %d, want 9", got)
+	}
+	if tab.Len() != 0x49 {
+		t.Fatalf("Len = %d, want %d", tab.Len(), 0x49)
+	}
+}
+
+func TestTableCloneIsIndependent(t *testing.T) {
+	var tab Table[int]
+	tab.Set(64, 1)
+	c := tab.Clone()
+	c.Set(64, 2)
+	c.Set(200, 3) // grows the clone only
+	if got := tab.At(64); got != 1 {
+		t.Fatalf("mutating clone changed original: %d", got)
+	}
+	if got := tab.At(200); got != 0 {
+		t.Fatalf("growing clone changed original: %d", got)
+	}
+	tab.Set(64, 5)
+	if got := c.At(64); got != 2 {
+		t.Fatalf("mutating original changed clone: %d", got)
+	}
+}
+
+func TestTableForEachOrder(t *testing.T) {
+	var tab Table[int]
+	tab.Set(10, 1)
+	tab.Set(5, 2)
+	var addrs []pmm.Addr
+	tab.ForEach(func(a pmm.Addr, v int) bool {
+		if v != 0 {
+			addrs = append(addrs, a)
+		}
+		return true
+	})
+	if len(addrs) != 2 || addrs[0] != 5 || addrs[1] != 10 {
+		t.Fatalf("ForEach order = %v, want [5 10]", addrs)
+	}
+}
+
+func TestTableOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("corrupt slot index did not panic")
+		}
+	}()
+	var tab Table[int]
+	tab.Set(pmm.Addr(maxSlots), 1)
+}
+
+func TestLineTable(t *testing.T) {
+	var tab LineTable[string]
+	l := pmm.LineOf(0x1000)
+	tab.Set(l, "x")
+	if got := tab.At(l); got != "x" {
+		t.Fatalf("At = %q", got)
+	}
+	if got := tab.At(l + 1); got != "" {
+		t.Fatalf("unset line = %q", got)
+	}
+	c := tab.Clone()
+	c.Set(l, "y")
+	if tab.At(l) != "x" {
+		t.Fatal("clone aliased original")
+	}
+	n := 0
+	tab.ForEach(func(pmm.Line, string) bool { n++; return true })
+	if n != int(l)+1 {
+		t.Fatalf("ForEach visited %d slots, want %d", n, int(l)+1)
+	}
+}

@@ -5,36 +5,24 @@ import (
 	"yashme/internal/vclock"
 )
 
-// Remap translates pointers from a cloned detector's original object graph
-// to the clone's. The engine identifies candidate stores by pointer equality
-// (its persisted image compares *StoreRecord and *Execution identities), so
-// a detector clone is only usable together with the remap that rewrites
-// those references.
-type Remap struct {
-	Execs  map[*Execution]*Execution
-	Stores map[*StoreRecord]*StoreRecord
-}
-
 // Clone returns a deep copy of the detector — the execution stack with its
 // storemap/history/lastflush/CVpre/persistLB state and the accumulated
-// report — plus the pointer remap from originals to clones.
+// report. Store identity is positional (StoreRef = arena index), so a ref
+// taken against the original names the corresponding record in the clone and
+// no pointer remapping is needed.
 //
-// Sharing rules: StoreRecord clock vectors (CV) are shared with the
-// original because the TSO machine snapshots them at commit time and nothing
-// mutates them afterwards; Flushes and Torn ARE mutated after commit
-// (applyFlush appends, the engine marks torn observations), so every
-// StoreRecord itself is copied. The clone and the original may be mutated
+// Sharing rules: StoreRecord clock vectors (CV) are shared with the original
+// because the TSO machine snapshots them at commit time and nothing mutates
+// them afterwards; everything else — arenas, per-address tables, per-line
+// state — is copied, so the clone and the original may be mutated
 // independently afterwards.
-func (d *Detector) Clone() (*Detector, *Remap) {
+func (d *Detector) Clone() *Detector {
 	nd := &Detector{cfg: d.cfg, report: d.report.Clone()}
-	rm := &Remap{
-		Execs:  make(map[*Execution]*Execution, len(d.execs)),
-		Stores: make(map[*StoreRecord]*StoreRecord),
+	nd.execs = make([]*Execution, len(d.execs))
+	for i, e := range d.execs {
+		nd.execs[i] = e.clone()
 	}
-	for _, e := range d.execs {
-		nd.execs = append(nd.execs, e.clone(rm))
-	}
-	return nd, rm
+	return nd
 }
 
 // SetLabeler replaces the address labeler. A scenario resumed from a
@@ -42,55 +30,32 @@ func (d *Detector) Clone() (*Detector, *Remap) {
 // cloned detector at that heap's LabelFor.
 func (d *Detector) SetLabeler(l func(pmm.Addr) string) { d.cfg.Labeler = l }
 
-func (e *Execution) clone(rm *Remap) *Execution {
+func (e *Execution) clone() *Execution {
 	ne := &Execution{
-		ID:        e.ID,
-		storemap:  make(map[pmm.Addr]*StoreRecord, len(e.storemap)),
-		history:   make(map[pmm.Addr][]*StoreRecord, len(e.history)),
-		lineAddrs: make(map[pmm.Line]map[pmm.Addr]struct{}, len(e.lineAddrs)),
-		lastflush: make(map[pmm.Line]vclock.VC, len(e.lastflush)),
-		cvpre:     e.cvpre.Clone(),
-		persistLB: make(map[pmm.Addr]*StoreRecord, len(e.persistLB)),
-		crashSeq:  e.crashSeq,
+		ID:         e.ID,
+		arena:      append([]StoreRecord(nil), e.arena...),
+		flushArena: append([]flushNode(nil), e.flushArena...),
+		storeTab:   e.storeTab.Clone(),
+		lineAddrs:  e.lineAddrs.Clone(),
+		lastflush:  e.lastflush.Clone(),
+		cvpre:      e.cvpre.Clone(),
+		persistTab: e.persistTab.Clone(),
+		crashSeq:   e.crashSeq,
 	}
-	rm.Execs[e] = ne
-	cloneStore := func(s *StoreRecord) *StoreRecord {
-		if s == nil {
-			return nil
+	// The table clones are flat; detach the reference-typed slot values both
+	// sides may mutate: per-line address lists (appended to on first store)
+	// and per-line flush clocks (joined in place on observation).
+	ne.lineAddrs.ForEach(func(l pmm.Line, addrs []pmm.Addr) bool {
+		if len(addrs) > 0 {
+			ne.lineAddrs.Set(l, append([]pmm.Addr(nil), addrs...))
 		}
-		if ns, ok := rm.Stores[s]; ok {
-			return ns
+		return true
+	})
+	ne.lastflush.ForEach(func(l pmm.Line, vc vclock.VC) bool {
+		if len(vc) > 0 {
+			ne.lastflush.Set(l, vc.Clone())
 		}
-		ns := new(StoreRecord)
-		*ns = *s
-		ns.Flushes = append([]FlushRef(nil), s.Flushes...)
-		rm.Stores[s] = ns
-		return ns
-	}
-	// history covers every record ever committed; storemap/persistLB alias
-	// into it, so cloning history first keeps those aliases intact.
-	for a, hs := range e.history {
-		nh := make([]*StoreRecord, len(hs))
-		for i, s := range hs {
-			nh[i] = cloneStore(s)
-		}
-		ne.history[a] = nh
-	}
-	for a, s := range e.storemap {
-		ne.storemap[a] = cloneStore(s)
-	}
-	for a, s := range e.persistLB {
-		ne.persistLB[a] = cloneStore(s)
-	}
-	for l, set := range e.lineAddrs {
-		ns := make(map[pmm.Addr]struct{}, len(set))
-		for a := range set {
-			ns[a] = struct{}{}
-		}
-		ne.lineAddrs[l] = ns
-	}
-	for l, vc := range e.lastflush {
-		ne.lastflush[l] = vc.Clone()
-	}
+		return true
+	})
 	return ne
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"yashme/internal/pmm"
 )
 
 // TestCloneIndependence: a cloned detector and its original may be mutated
@@ -14,16 +16,22 @@ func TestCloneIndependence(t *testing.T) {
 	r.m.EnqueueStore(0, addrZ, 8, 2, false, false)
 	r.m.DrainSB(0)
 
-	nd, rm := r.d.Clone()
-	origStore := r.d.Current().Latest(addrX)
-	cloneStore := rm.Stores[origStore]
+	nd := r.d.Clone()
+	origExec := r.d.Current()
+	origStore := origExec.Latest(addrX)
+	// Store identity is positional: the same ref resolves to the clone's
+	// copy of the record.
+	cloneStore := nd.Current().ByRef(origStore.Ref())
 	if cloneStore == nil || cloneStore == origStore {
-		t.Fatalf("remap must map the store to a distinct clone (got %p -> %p)", origStore, cloneStore)
+		t.Fatalf("ref must resolve to a distinct cloned record (got %p -> %p)", origStore, cloneStore)
+	}
+	if cloneStore.Addr != origStore.Addr || cloneStore.Seq != origStore.Seq {
+		t.Fatalf("cloned record differs: %+v vs %+v", cloneStore, origStore)
 	}
 
-	// Mutate the clone: flush X's line (appends to the record's Flushes),
-	// crash, and report a race on the unflushed Z. The machine clone reports
-	// to the detector clone, so the two pairs evolve independently.
+	// Mutate the clone: flush X's line (appends to the record's flushmap
+	// chain), crash, and report a race on the unflushed Z. The machine clone
+	// reports to the detector clone, so the two pairs evolve independently.
 	nm := r.m.Clone(nd)
 	nm.EnqueueCLFlush(0, addrX)
 	nm.DrainSB(0)
@@ -33,11 +41,11 @@ func TestCloneIndependence(t *testing.T) {
 		t.Fatal("clone: unflushed non-atomic store must race")
 	}
 
-	if len(origStore.Flushes) != 0 {
-		t.Errorf("original store gained %d flushes from the clone's clflush", len(origStore.Flushes))
+	if got := len(origExec.FlushesOf(origStore)); got != 0 {
+		t.Errorf("original store gained %d flushes from the clone's clflush", got)
 	}
-	if len(cloneStore.Flushes) != 1 {
-		t.Errorf("clone store has %d flushes, want 1", len(cloneStore.Flushes))
+	if got := len(ce.FlushesOf(ce.Latest(addrX))); got != 1 {
+		t.Errorf("clone store has %d flushes, want 1", got)
 	}
 	if got := r.d.Report().Count(); got != 0 {
 		t.Errorf("original report has %d races after the clone reported one", got)
@@ -54,5 +62,63 @@ func TestCloneIndependence(t *testing.T) {
 	}
 	if got := nd.Report().Count(); got != 1 {
 		t.Errorf("clone report has %d races after the original reported another, want 1", got)
+	}
+}
+
+// TestCloneNoAliasing drives both the template and a clone resumed from it
+// through every mutation path the engine exercises after a checkpoint resume
+// — new commits (arena growth), flushes (flush-arena growth and chain
+// links), observations (lastflush/CVpre joins), Torn marks — and asserts
+// nothing leaks either way. Run under -race this also proves the two share
+// no writable memory.
+func TestCloneNoAliasing(t *testing.T) {
+	r := newRig(true)
+	r.m.EnqueueStore(0, addrX, 8, 1, false, false)
+	r.m.EnqueueStore(0, addrY, 8, 2, true, true) // release on X's line
+	r.m.EnqueueStore(0, addrZ, 8, 3, false, false)
+	r.m.DrainSB(0)
+
+	nd := r.d.Clone()
+	nm := r.m.Clone(nd)
+
+	// Grow every arena and table on the clone only.
+	nm.EnqueueStore(0, addrZ+8, 8, 4, false, false) // same line as Z: lineAddrs append
+	nm.EnqueueCLFlush(0, addrZ)                     // flush arena growth
+	nm.DrainSB(0)
+	ce := nd.Current()
+	nd.EndExecution(nm.CurSeq())
+	nd.ObserveRead(ce, ce.Latest(addrY)) // lastflush join + cvpre join
+	ce.Latest(addrX).Torn = true
+
+	oe := r.d.Current()
+	if got := oe.Latest(addrZ + 8); got != nil {
+		t.Errorf("clone's commit leaked into the original: %+v", got)
+	}
+	if got := len(oe.FlushesOf(oe.Latest(addrZ))); got != 0 {
+		t.Errorf("clone's flush leaked into the original: %d entries", got)
+	}
+	if oe.cvpre.Max() != 0 {
+		t.Errorf("clone's observation extended the original's CVpre: %v", oe.cvpre)
+	}
+	if oe.lastflush.At(pmm.LineOf(addrY)).Max() != 0 {
+		t.Errorf("clone's lastflush join leaked into the original")
+	}
+	if oe.Latest(addrX).Torn {
+		t.Error("clone's Torn mark leaked into the original record")
+	}
+
+	// And the reverse: mutate the original, check the clone.
+	r.m.EnqueueCLFlush(0, addrX)
+	r.m.DrainSB(0)
+	r.d.ObserveRead(oe, oe.Latest(addrZ))
+	oe.Latest(addrZ).Torn = true
+	if got := len(ce.FlushesOf(ce.Latest(addrX))); got != 0 {
+		t.Errorf("original's flush leaked into the clone: %d entries", got)
+	}
+	if ce.Latest(addrZ).Torn {
+		t.Error("original's Torn mark leaked into the clone record")
+	}
+	if ce.cvpre.Get(0) != 2 {
+		t.Errorf("clone CVpre = %v, want its own observation of seq 2 only", ce.cvpre)
 	}
 }

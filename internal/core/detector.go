@@ -36,6 +36,7 @@ package core
 import (
 	"fmt"
 
+	"yashme/internal/addridx"
 	"yashme/internal/pmm"
 	"yashme/internal/report"
 	"yashme/internal/tso"
@@ -50,7 +51,27 @@ type FlushRef struct {
 	Seq vclock.Seq
 }
 
-// StoreRecord is the detector's view of one committed store.
+// StoreRef names a StoreRecord inside its owning Execution: a 1-based index
+// into the execution's arena. Zero is "no store" (the nil of the old
+// pointer-based representation). Refs survive Detector.Clone unchanged —
+// the same ref names the corresponding record in the cloned arena — which
+// is what lets the engine identify stores across checkpoint snapshots
+// without any pointer remapping.
+type StoreRef int32
+
+// flushNode is one entry in an execution's flush arena: the flushmap lists
+// of all store records live here as linked chains, so recording a flush is
+// an arena append plus a link write and cloning the detector copies one
+// flat slice instead of per-record Flushes slices.
+type flushNode struct {
+	ref  FlushRef
+	next int32 // 1-based index of the next node in the chain, 0 = end
+}
+
+// StoreRecord is the detector's view of one committed store. Records live
+// in their execution's arena (commit order); take care not to retain
+// pointers across commits on a still-running execution — the arena may
+// grow. Refs (StoreRef) are stable; pointers into ended executions are too.
 type StoreRecord struct {
 	Addr    pmm.Addr
 	Size    int
@@ -60,68 +81,122 @@ type StoreRecord struct {
 	CV      vclock.VC
 	Atomic  bool
 	Release bool
-	// Flushes is flushmap(σs): the first flush per thread that
-	// happens-after this store (paper Figure 8, Evict_SB/Evict_FB).
-	Flushes []FlushRef
 	// Torn is set by the engine when a post-crash load actually observed
 	// this store as racing; used to synthesize torn values.
 	Torn bool
+
+	// ref is this record's own 1-based arena index.
+	ref StoreRef
+	// prevSameAddr chains to the previous store to the same address (the
+	// per-address history, newest to oldest).
+	prevSameAddr StoreRef
+	// flushHead/flushTail delimit this store's flushmap chain in the
+	// execution's flush arena: the first flush per thread that happens-after
+	// this store (paper Figure 8, Evict_SB/Evict_FB).
+	flushHead, flushTail int32
 }
+
+// Ref returns the record's stable identity within its execution.
+func (s *StoreRecord) Ref() StoreRef { return s.ref }
+
+// Prev returns the ref of the previous store to the same address in this
+// execution (0 = none). Walking Latest → Prev visits an address's history
+// newest-first without allocating, unlike History.
+func (s *StoreRecord) Prev() StoreRef { return s.prevSameAddr }
 
 // Execution is the per-execution detector state. Executions form a stack
 // (paper §6, exec): a crash during recovery pushes a new execution whose
 // loads may read from any earlier one.
+//
+// All hot state is slice-backed: store records live in a commit-ordered
+// arena, per-address lookups go through dense addridx tables holding arena
+// refs, and per-line state is line-indexed. Clone is a handful of flat
+// copies (see clone.go).
 type Execution struct {
 	ID int
 
-	// storemap: latest committed store per address.
-	storemap map[pmm.Addr]*StoreRecord
-	// history: every committed store per address, in commit (σ) order.
-	history map[pmm.Addr][]*StoreRecord
-	// lineAddrs: which addresses on each cache line have been stored to.
-	lineAddrs map[pmm.Line]map[pmm.Addr]struct{}
+	// arena holds every committed store record in commit (σ) order;
+	// StoreRef r names arena[r-1].
+	arena []StoreRecord
+	// flushArena backs the per-record flushmap chains.
+	flushArena []flushNode
+	// storeTab: latest committed store per address (storemap).
+	storeTab addridx.Table[StoreRef]
+	// lineAddrs: which addresses on each cache line have been stored to,
+	// in first-store order.
+	lineAddrs addridx.LineTable[[]pmm.Addr]
 	// lastflush: line → lower bound clock for the line's write-back.
-	lastflush map[pmm.Line]vclock.VC
+	lastflush addridx.LineTable[vclock.VC]
 	// cvpre: how much of this execution later executions have observed.
 	cvpre vclock.VC
-	// persistLB: per address, the latest store known persisted via an
+	// persistTab: per address, the latest store known persisted via an
 	// explicit flush (the engine's candidate windows start here).
-	persistLB map[pmm.Addr]*StoreRecord
+	persistTab addridx.Table[StoreRef]
 	// crashSeq: σ at the crash ending this execution (0 while running).
 	crashSeq vclock.Seq
 }
 
 func newExecution(id int) *Execution {
-	return &Execution{
-		ID:        id,
-		storemap:  make(map[pmm.Addr]*StoreRecord),
-		history:   make(map[pmm.Addr][]*StoreRecord),
-		lineAddrs: make(map[pmm.Line]map[pmm.Addr]struct{}),
-		lastflush: make(map[pmm.Line]vclock.VC),
-		cvpre:     vclock.New(),
-		persistLB: make(map[pmm.Addr]*StoreRecord),
+	return &Execution{ID: id}
+}
+
+// ByRef resolves a StoreRef to its record, nil for the zero ref.
+func (e *Execution) ByRef(r StoreRef) *StoreRecord {
+	if r == 0 {
+		return nil
 	}
+	return &e.arena[r-1]
 }
 
 // History returns the commit-ordered stores to addr in this execution.
-func (e *Execution) History(addr pmm.Addr) []*StoreRecord { return e.history[addr] }
+func (e *Execution) History(addr pmm.Addr) []*StoreRecord {
+	n := 0
+	for r := e.storeTab.At(addr); r != 0; r = e.ByRef(r).prevSameAddr {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*StoreRecord, n)
+	for r := e.storeTab.At(addr); r != 0; {
+		s := e.ByRef(r)
+		n--
+		out[n] = s
+		r = s.prevSameAddr
+	}
+	return out
+}
 
 // Latest returns the latest committed store to addr, or nil.
-func (e *Execution) Latest(addr pmm.Addr) *StoreRecord { return e.storemap[addr] }
+func (e *Execution) Latest(addr pmm.Addr) *StoreRecord { return e.ByRef(e.storeTab.At(addr)) }
 
 // PersistLB returns the latest store to addr known persisted via explicit
 // flushes, or nil if no flush covered the address.
-func (e *Execution) PersistLB(addr pmm.Addr) *StoreRecord { return e.persistLB[addr] }
+func (e *Execution) PersistLB(addr pmm.Addr) *StoreRecord { return e.ByRef(e.persistTab.At(addr)) }
+
+// FlushesOf returns the flushmap entries recorded for s: the first flush
+// per thread that happens-after it.
+func (e *Execution) FlushesOf(s *StoreRecord) []FlushRef {
+	var out []FlushRef
+	for n := s.flushHead; n != 0; n = e.flushArena[n-1].next {
+		out = append(out, e.flushArena[n-1].ref)
+	}
+	return out
+}
 
 // CrashSeq returns the σ at which this execution crashed (0 if running).
 func (e *Execution) CrashSeq() vclock.Seq { return e.crashSeq }
 
-// StoredAddrs returns every address written in this execution.
+// StoredAddrs returns every address written in this execution, in ascending
+// address order.
 func (e *Execution) StoredAddrs() []pmm.Addr {
-	out := make([]pmm.Addr, 0, len(e.storemap))
-	for a := range e.storemap {
-		out = append(out, a)
-	}
+	var out []pmm.Addr
+	e.storeTab.ForEach(func(a pmm.Addr, r StoreRef) bool {
+		if r != 0 {
+			out = append(out, a)
+		}
+		return true
+	})
 	return out
 }
 
@@ -200,20 +275,20 @@ func (d *Detector) EndExecution(crashSeq vclock.Seq) *Execution {
 // StoreCommitted implements Evict_SB for stores: update storemap/history.
 func (d *Detector) StoreCommitted(rec *tso.CommittedStore) {
 	e := d.Current()
-	sr := &StoreRecord{
+	prev := e.storeTab.At(rec.Addr)
+	ref := StoreRef(len(e.arena) + 1)
+	e.arena = append(e.arena, StoreRecord{
 		Addr: rec.Addr, Size: rec.Size, Val: rec.Val,
 		TID: rec.TID, Seq: rec.Seq, CV: rec.CV,
 		Atomic: rec.Atomic, Release: rec.Release,
+		ref: ref, prevSameAddr: prev,
+	})
+	e.storeTab.Set(rec.Addr, ref)
+	if prev == 0 {
+		// First store to this address: register it on its cache line.
+		la := e.lineAddrs.Ptr(pmm.LineOf(rec.Addr))
+		*la = append(*la, rec.Addr)
 	}
-	e.storemap[rec.Addr] = sr
-	e.history[rec.Addr] = append(e.history[rec.Addr], sr)
-	line := pmm.LineOf(rec.Addr)
-	set, ok := e.lineAddrs[line]
-	if !ok {
-		set = make(map[pmm.Addr]struct{})
-		e.lineAddrs[line] = set
-	}
-	set[rec.Addr] = struct{}{}
 }
 
 // CLFlushCommitted implements Evict_SB for clflush: for every latest store
@@ -244,25 +319,39 @@ func (d *Detector) FenceCommitted(vclock.TID, vclock.Seq, vclock.VC) {}
 // (orderCV) — the "first flush per thread" rule of Figure 8.
 func (d *Detector) applyFlush(line pmm.Line, coverCV vclock.VC, flushTID vclock.TID, flushSeq vclock.Seq, orderCV vclock.VC) {
 	e := d.Current()
-	for a := range e.lineAddrs[line] {
-		s := e.storemap[a]
+	for _, a := range e.lineAddrs.At(line) {
+		ref := e.storeTab.At(a)
+		s := e.ByRef(ref)
 		if s == nil || !coverCV.Contains(s.TID, s.Seq) {
 			continue // store did not happen-before the flush
 		}
 		already := false
-		for _, f := range s.Flushes {
+		for n := s.flushHead; n != 0; n = e.flushArena[n-1].next {
+			f := e.flushArena[n-1].ref
 			if orderCV.Contains(f.TID, f.Seq) {
 				already = true // an earlier flush is ordered before this one
 				break
 			}
 		}
 		if !already {
-			s.Flushes = append(s.Flushes, FlushRef{TID: flushTID, Seq: flushSeq})
+			e.addFlush(s, FlushRef{TID: flushTID, Seq: flushSeq})
 		}
-		if lb := e.persistLB[a]; lb == nil || s.Seq > lb.Seq {
-			e.persistLB[a] = s
+		if lb := e.ByRef(e.persistTab.At(a)); lb == nil || s.Seq > lb.Seq {
+			e.persistTab.Set(a, ref)
 		}
 	}
+}
+
+// addFlush appends a flushmap entry to s's chain in the flush arena.
+func (e *Execution) addFlush(s *StoreRecord, f FlushRef) {
+	e.flushArena = append(e.flushArena, flushNode{ref: f})
+	n := int32(len(e.flushArena))
+	if s.flushTail != 0 {
+		e.flushArena[s.flushTail-1].next = n
+	} else {
+		s.flushHead = n
+	}
+	s.flushTail = n
 }
 
 var _ tso.Listener = (*Detector)(nil)
@@ -285,7 +374,7 @@ func (d *Detector) CheckCandidate(e *Execution, s *StoreRecord, guarded bool) *r
 	// Condition 2 (coherence): if the post-crash execution already read an
 	// atomic release store on this line ordered after s, the line persisted
 	// after s completed.
-	if lf, ok := e.lastflush[line]; ok && lf.Contains(s.TID, s.Seq) {
+	if lf := e.lastflush.At(line); lf.Contains(s.TID, s.Seq) {
 		return nil
 	}
 	if d.cfg.EADR {
@@ -301,7 +390,8 @@ func (d *Detector) CheckCandidate(e *Execution, s *StoreRecord, guarded bool) *r
 		// Conditions 3–4 (explicit flushes): a recorded flush defeats the
 		// race only if it is inside the consistent prefix E+ (CVpre).
 		// Baseline mode accepts any flush that happened before the crash.
-		for _, f := range s.Flushes {
+		for n := s.flushHead; n != 0; n = e.flushArena[n-1].next {
+			f := e.flushArena[n-1].ref
 			if !d.cfg.Prefix || e.cvpre.Contains(f.TID, f.Seq) {
 				return nil
 			}
@@ -318,7 +408,7 @@ func (d *Detector) CheckCandidate(e *Execution, s *StoreRecord, guarded bool) *r
 		StoreTID:  int(s.TID),
 		ExecID:    e.ID,
 		Benign:    guarded,
-		Flushed:   len(s.Flushes) > 0,
+		Flushed:   s.flushHead != 0,
 	}
 	d.report.Add(r)
 	return &r
@@ -333,13 +423,7 @@ func (d *Detector) ObserveRead(e *Execution, s *StoreRecord) {
 		return
 	}
 	if s.Atomic && s.Release {
-		line := pmm.LineOf(s.Addr)
-		lf, ok := e.lastflush[line]
-		if !ok {
-			lf = vclock.New()
-			e.lastflush[line] = lf
-		}
-		lf.Join(s.CV)
+		e.lastflush.Ptr(pmm.LineOf(s.Addr)).Join(s.CV)
 	}
 	e.cvpre.Join(s.CV)
 }

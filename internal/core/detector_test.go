@@ -83,8 +83,8 @@ func TestPrefixFindsRaceBeyondWindow(t *testing.T) {
 		r.m.DrainSB(0)
 		e := r.crash()
 		s := e.Latest(addrX)
-		if len(s.Flushes) != 1 {
-			t.Fatalf("flushmap entries = %d, want 1", len(s.Flushes))
+		if len(e.FlushesOf(s)) != 1 {
+			t.Fatalf("flushmap entries = %d, want 1", len(e.FlushesOf(s)))
 		}
 		race := r.d.CheckCandidate(e, s, false)
 		if prefix && race == nil {
@@ -171,8 +171,8 @@ func TestCLWBWithoutFenceStillRaces(t *testing.T) {
 	r.m.DrainSB(0) // clwb sits in the flush buffer, no fence
 	e := r.crash()
 	s := e.Latest(addrX)
-	if len(s.Flushes) != 0 {
-		t.Fatalf("clwb without fence recorded a flush: %v", s.Flushes)
+	if len(e.FlushesOf(s)) != 0 {
+		t.Fatalf("clwb without fence recorded a flush: %v", e.FlushesOf(s))
 	}
 	if race := r.d.CheckCandidate(e, s, false); race == nil {
 		t.Fatal("clwb without fence must not defeat the race")
@@ -187,8 +187,8 @@ func TestCLWBPlusSFencePersists(t *testing.T) {
 	r.m.DrainSB(0)
 	e := r.crash()
 	s := e.Latest(addrX)
-	if len(s.Flushes) != 1 {
-		t.Fatalf("flushmap entries = %d, want 1", len(s.Flushes))
+	if len(e.FlushesOf(s)) != 1 {
+		t.Fatalf("flushmap entries = %d, want 1", len(e.FlushesOf(s)))
 	}
 	if race := r.d.CheckCandidate(e, s, false); race != nil {
 		t.Fatal("clwb+sfence did not defeat the race in baseline mode")
@@ -201,7 +201,7 @@ func TestCLWBPlusMFencePersists(t *testing.T) {
 	r.m.EnqueueCLWB(0, addrX)
 	r.m.MFence(0)
 	e := r.crash()
-	if len(e.Latest(addrX).Flushes) != 1 {
+	if len(e.FlushesOf(e.Latest(addrX))) != 1 {
 		t.Fatal("mfence did not complete the clwb")
 	}
 }
@@ -214,8 +214,8 @@ func TestFlushBeforeStoreDoesNotCount(t *testing.T) {
 	r.m.DrainSB(0)
 	e := r.crash()
 	s := e.Latest(addrX)
-	if len(s.Flushes) != 0 {
-		t.Fatalf("flush before store recorded in flushmap: %v", s.Flushes)
+	if len(e.FlushesOf(s)) != 0 {
+		t.Fatalf("flush before store recorded in flushmap: %v", e.FlushesOf(s))
 	}
 	if race := r.d.CheckCandidate(e, s, false); race == nil {
 		t.Fatal("store after its line's flush must race")
@@ -233,7 +233,7 @@ func TestCrossThreadFlushNeedsHappensBefore(t *testing.T) {
 	r.m.EnqueueCLFlush(1, addrX)
 	r.m.DrainSB(1)
 	e := r.crash()
-	if got := len(e.Latest(addrX).Flushes); got != 0 {
+	if got := len(e.FlushesOf(e.Latest(addrX))); got != 0 {
 		t.Fatalf("unsynchronized cross-thread flush recorded: %d", got)
 	}
 
@@ -246,7 +246,7 @@ func TestCrossThreadFlushNeedsHappensBefore(t *testing.T) {
 	r.m.EnqueueCLFlush(1, addrX)
 	r.m.DrainSB(1)
 	e = r.crash()
-	if got := len(e.Latest(addrX).Flushes); got != 1 {
+	if got := len(e.FlushesOf(e.Latest(addrX))); got != 1 {
 		t.Fatalf("synchronized cross-thread flush not recorded: %d", got)
 	}
 }
@@ -260,7 +260,7 @@ func TestFlushmapFirstFlushOnly(t *testing.T) {
 	r.m.EnqueueCLFlush(0, addrX)
 	r.m.DrainSB(0)
 	e := r.crash()
-	if got := len(e.Latest(addrX).Flushes); got != 1 {
+	if got := len(e.FlushesOf(e.Latest(addrX))); got != 1 {
 		t.Fatalf("flushmap entries = %d, want 1 (first flush only)", got)
 	}
 }

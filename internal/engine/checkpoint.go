@@ -14,9 +14,11 @@
 //
 //   - the persistent heap (pmm.Heap.Clone) and the detector with its report
 //     (core.Detector.Clone) — the full pre-crash analysis state;
-//   - the persisted image map, pointer-remapped to the cloned detector's
-//     records (the engine compares *core.StoreRecord / *core.Execution by
-//     identity, so a clone is unusable without the remap);
+//   - the persisted image map. Image provenance names stores by (execution
+//     stack index, arena ref), both of which survive a detector clone
+//     unchanged, so capture and resume copy the map as-is — no pointer
+//     remapping. Candidate slices are immutable once stored (buildImage
+//     always assembles fresh ones), so the copy is shallow;
 //   - the trace recorder's event log, when tracing is on;
 //   - the rng stream position (a raw-draw count) plus the crash-unwind draw
 //     count, so a resume reproduces the exact rand.Rand state a from-scratch
@@ -28,8 +30,8 @@
 //     tooling, not for this layer).
 //
 // Snapshots are read-only templates shared by every scenario of a schedule
-// (including concurrent workers): a resume clones the detector again, remaps
-// the image again, and copies the heap state and event log into scenario-
+// (including concurrent workers): a resume clones the detector again, copies
+// the image map again, and copies the heap state and event log into scenario-
 // private objects. Nothing ever mutates a snapshot after capture.
 //
 // The same mechanism handles the recursive cases: a primary scenario that
@@ -159,7 +161,6 @@ func (k *snapshotSink) take(sc *scenario, point int) {
 }
 
 func captureSnapshot(sc *scenario, point int) *snapshot {
-	det, rm := sc.det.Clone()
 	snap := &snapshot{
 		seed:        sc.seed,
 		execIdx:     sc.execIdx,
@@ -169,8 +170,8 @@ func captureSnapshot(sc *scenario, point int) *snapshot {
 		stats:       sc.stats,
 		crashPoints: make(map[int]int, len(sc.crashPoints)),
 		heap:        sc.heap.Clone(),
-		det:         det,
-		image:       remapImage(sc.image, rm),
+		det:         sc.det.Clone(),
+		image:       copyImage(sc.image),
 		setupAllocs: sc.setupAllocs,
 		setupNext:   sc.setupNext,
 	}
@@ -189,33 +190,13 @@ func captureSnapshot(sc *scenario, point int) *snapshot {
 	return snap
 }
 
-// remapImage deep-copies an image map, rewriting every candidate and chosen
-// store through the detector-clone remap so pointer-identity comparisons
-// (resolvePostCrashLoad, buildImage's PersistLB check) keep working against
-// the cloned detector.
-func remapImage(img map[pmm.Addr]imageEntry, rm *core.Remap) map[pmm.Addr]imageEntry {
+// copyImage copies an image map. Entries are value types whose candidate
+// slices are immutable once stored (buildImage assembles fresh slices and
+// provenance is positional, not pointers), so a shallow per-entry copy fully
+// detaches the snapshot from the scenario's live map.
+func copyImage(img map[pmm.Addr]imageEntry) map[pmm.Addr]imageEntry {
 	out := make(map[pmm.Addr]imageEntry, len(img))
-	remapCand := func(c provCand) provCand {
-		if c.store == nil {
-			return c
-		}
-		if ne, ok := rm.Execs[c.exec]; ok {
-			c.exec = ne
-		}
-		if ns, ok := rm.Stores[c.store]; ok {
-			c.store = ns
-		}
-		return c
-	}
 	for a, e := range img {
-		if len(e.candidates) > 0 {
-			cands := make([]provCand, len(e.candidates))
-			for i, c := range e.candidates {
-				cands[i] = remapCand(c)
-			}
-			e.candidates = cands
-		}
-		e.chosen = remapCand(e.chosen)
 		out[a] = e
 	}
 	return out
@@ -245,7 +226,7 @@ func resumeScenario(makeProg func() pmm.Program, opts Options, snap *snapshot, p
 	if opts.EADR {
 		persist = PersistLatest
 	}
-	det, rm := snap.det.Clone()
+	det := snap.det.Clone()
 	det.SetLabeler(heap.LabelFor)
 	src := newCountingSource(snap.seed)
 	src.skip(snap.rngDraws)
@@ -261,7 +242,7 @@ func resumeScenario(makeProg func() pmm.Program, opts Options, snap *snapshot, p
 		crashPlan:   p,
 		crashPoints: make(map[int]int, len(snap.crashPoints)),
 		execIdx:     snap.execIdx,
-		image:       remapImage(snap.image, rm),
+		image:       copyImage(snap.image),
 		stats:       snap.stats,
 		setupAllocs: snap.setupAllocs,
 		setupNext:   snap.setupNext,

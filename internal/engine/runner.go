@@ -22,12 +22,26 @@ type plan map[int]int
 // errCrash is the sentinel panic that unwinds simulated threads at a crash.
 var errCrash = fmt.Errorf("engine: simulated crash")
 
-// provCand is one candidate store a post-crash load could read from,
-// together with the execution it belongs to (candidates can span several
-// executions of the stack in multi-crash scenarios).
+// provCand is one candidate store a post-crash load could read from: the
+// execution's stack index (== core.Execution.ID; candidates can span several
+// executions in multi-crash scenarios) and the store's arena ref within it.
+// Both survive Detector.Clone unchanged, so image provenance needs no
+// remapping across checkpoint snapshots, and candidate identity is plain
+// struct equality. The zero value means "no store".
 type provCand struct {
-	exec  *core.Execution
-	store *core.StoreRecord
+	exec int32
+	ref  core.StoreRef
+}
+
+// execOf resolves a candidate's execution against this scenario's detector.
+func (sc *scenario) execOf(c provCand) *core.Execution { return sc.det.Executions()[c.exec] }
+
+// storeOf resolves a candidate's record, nil for the zero candidate.
+func (sc *scenario) storeOf(c provCand) *core.StoreRecord {
+	if c.ref == 0 {
+		return nil
+	}
+	return sc.execOf(c).ByRef(c.ref)
 }
 
 // imageEntry is the persisted-image record for one address after a crash:
@@ -228,6 +242,9 @@ func (sc *scenario) runExecution(fns []func(*pmm.Thread)) bool {
 	if n == 0 {
 		return false
 	}
+	// Declare the dense TID range up front: threads are numbered 0..n-1, and
+	// the machine's slice-backed state panics on any TID outside it.
+	sc.machine.SpawnThreads(n)
 	events := make(chan threadEvent, n)
 	resumes := make([]chan struct{}, n)
 	waiting := make([]bool, n)
@@ -355,7 +372,7 @@ func (sc *scenario) buildImage() {
 		// on the line.
 		choices := []vclock.Seq{floor}
 		for _, a := range lineAddrs {
-			for _, s := range e.History(a) {
+			for s := e.Latest(a); s != nil; s = e.ByRef(s.Prev()) {
 				if s.Seq > floor {
 					choices = append(choices, s.Seq)
 				}
@@ -385,16 +402,23 @@ func (sc *scenario) buildImage() {
 			// could still observe a torn value from two crashes ago.
 			entry.candidates = append(entry.candidates, prev.candidates...)
 			var chosen *core.StoreRecord
-			for _, s := range e.History(a) {
+			// Walk the per-address chain newest-first (allocation-free), then
+			// reverse the freshly appended candidates back to commit order —
+			// CandidateLimit trims from the front, so order is observable.
+			start := len(entry.candidates)
+			for s := e.Latest(a); s != nil; s = e.ByRef(s.Prev()) {
 				if s.Seq > floor || s == e.PersistLB(a) {
-					entry.candidates = append(entry.candidates, provCand{exec: e, store: s})
+					entry.candidates = append(entry.candidates, provCand{exec: int32(e.ID), ref: s.Ref()})
 				}
-				if s.Seq <= point && (chosen == nil || s.Seq > chosen.Seq) {
+				if s.Seq <= point && chosen == nil {
 					chosen = s
 				}
 			}
+			for i, j := start, len(entry.candidates)-1; i < j; i, j = i+1, j-1 {
+				entry.candidates[i], entry.candidates[j] = entry.candidates[j], entry.candidates[i]
+			}
 			if chosen != nil {
-				entry.chosen = provCand{exec: e, store: chosen}
+				entry.chosen = provCand{exec: int32(e.ID), ref: chosen.Ref()}
 				entry.val = chosen.Val
 				entry.size = chosen.Size
 			} else {
@@ -420,7 +444,8 @@ func (sc *scenario) resolvePostCrashLoad(tid vclock.TID, addr pmm.Addr, size int
 	if !ok {
 		return 0
 	}
-	if len(entry.candidates) == 0 && entry.chosen.store == nil {
+	chosenStore := sc.storeOf(entry.chosen)
+	if len(entry.candidates) == 0 && chosenStore == nil {
 		return truncVal(entry.val, size) // Setup-time initial value
 	}
 	var chosenRaced bool
@@ -430,22 +455,22 @@ func (sc *scenario) resolvePostCrashLoad(tid vclock.TID, addr pmm.Addr, size int
 			cands = cands[len(cands)-lim:] // newest candidates only
 		}
 		for _, cand := range cands {
-			race := sc.det.CheckCandidate(cand.exec, cand.store, guarded)
-			if race != nil && cand.store == entry.chosen.store {
+			race := sc.det.CheckCandidate(sc.execOf(cand), sc.storeOf(cand), guarded)
+			if race != nil && cand == entry.chosen {
 				chosenRaced = true
 			}
 		}
-		if entry.chosen.store != nil {
-			sc.det.ObserveRead(entry.chosen.exec, entry.chosen.store)
+		if chosenStore != nil {
+			sc.det.ObserveRead(sc.execOf(entry.chosen), chosenStore)
 		}
 	}
 	val := entry.val
-	if sc.opts.TornValues && chosenRaced && !guarded && entry.chosen.store != nil && entry.chosen.store.Size > 1 {
-		val = tornValue(entry.prevVal, entry.chosen.store.Val, entry.chosen.store.Size)
-		entry.chosen.store.Torn = true
+	if sc.opts.TornValues && chosenRaced && !guarded && chosenStore != nil && chosenStore.Size > 1 {
+		val = tornValue(entry.prevVal, chosenStore.Val, chosenStore.Size)
+		chosenStore.Torn = true
 	}
-	if sc.recorder != nil && entry.chosen.store != nil {
-		sc.recorder.Observe(tid, addr, truncVal(val, size), entry.chosen.exec.ID, entry.chosen.store.Seq, guarded)
+	if sc.recorder != nil && chosenStore != nil {
+		sc.recorder.Observe(tid, addr, truncVal(val, size), int(entry.chosen.exec), chosenStore.Seq, guarded)
 	}
 	return truncVal(val, size)
 }

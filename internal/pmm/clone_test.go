@@ -43,10 +43,14 @@ func TestCloneIndependence(t *testing.T) {
 	// Restore grafts a snapshot's state into a live heap and must detach from
 	// the source the same way.
 	h2 := NewHeap()
-	h2.AllocStruct("obj", Layout{{Name: "a", Size: 8}, {Name: "b", Size: 8}})
+	o2 := h2.AllocStruct("obj", Layout{{Name: "a", Size: 8}, {Name: "b", Size: 8}})
 	h2.Restore(c)
 	h2.AllocStruct("post", Layout{{Name: "p", Size: 8}})
+	h2.Init(o2.F("b"), 8, 77) // appends to the restored init-write slice
 	if got, want := c.AllocCount(), 3; got != want {
 		t.Errorf("restore source AllocCount = %d after mutating target, want %d", got, want)
+	}
+	if got, want := len(c.InitWrites()), 2; got != want {
+		t.Errorf("restore source InitWrites = %d after the target wrote, want %d", got, want)
 	}
 }

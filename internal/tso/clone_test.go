@@ -56,4 +56,20 @@ func TestCloneIndependence(t *testing.T) {
 	if !ok || v.Val != 42 {
 		t.Errorf("clone lost the shared committed store: %+v, %v", v, ok)
 	}
+
+	// Slice-backed state: grow the original's per-thread buffers and clock
+	// range after the clone. Shared backing arrays would let these writes
+	// surface in the clone (and trip -race).
+	cCV := c.ThreadCV(1).Max()
+	m.EnqueueStore(3, 0x3000, 8, 1, false, false) // grows sb/fb/cv to thread 3
+	m.EnqueueStore(1, 0x1010, 8, 5, false, false) // appends to thread 1's buffer
+	if got := c.SBLen(3); got != 0 {
+		t.Errorf("clone SBLen(3) = %d after the original grew to thread 3, want 0", got)
+	}
+	if got := c.SBLen(1); got != 0 {
+		t.Errorf("clone SBLen(1) = %d after the original enqueued, want 0", got)
+	}
+	if got := c.ThreadCV(1).Max(); got != cCV {
+		t.Errorf("clone ThreadCV(1) moved %d -> %d when only the original ran", cCV, got)
+	}
 }

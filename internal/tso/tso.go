@@ -25,6 +25,7 @@ package tso
 import (
 	"fmt"
 
+	"yashme/internal/addridx"
 	"yashme/internal/pmm"
 	"yashme/internal/vclock"
 )
@@ -116,20 +117,39 @@ func (NopListener) FenceCommitted(vclock.TID, vclock.Seq, vclock.VC)            
 
 var _ Listener = NopListener{}
 
+// MaxThreads caps the dense TID range a machine will grow to on demand. The
+// simulator runs a handful of threads; a TID at or beyond this limit is a
+// corrupt identifier, and indexing by it would silently allocate garbage
+// state, so the machine panics instead.
+const MaxThreads = 1 << 10
+
 // Machine is one x86-TSO storage system instance. One Machine simulates one
 // execution (pre-crash or post-crash); the engine creates a fresh Machine
 // per execution, seeding its memory from the persisted image.
+//
+// Per-thread state is held in slices indexed directly by TID. This dense
+// layout relies on the TID-density invariant: threads are numbered 0..n-1
+// with no gaps (the engine spawns them that way and declares the count via
+// SpawnThreads). A machine used without SpawnThreads grows its per-thread
+// state on demand up to MaxThreads; after SpawnThreads, an out-of-range TID
+// panics loudly rather than mis-indexing.
 type Machine struct {
 	listener Listener
 	seq      vclock.Seq
 
-	sb map[vclock.TID][]SBEntry
-	fb map[vclock.TID][]FBEntry
-	cv map[vclock.TID]vclock.VC
+	// declared is the thread count fixed by SpawnThreads, 0 when the
+	// machine grows on demand.
+	declared int
+
+	sb [][]SBEntry // indexed by TID
+	fb [][]FBEntry // indexed by TID
+	cv []vclock.VC // indexed by TID
 
 	// mem is the volatile cache/memory view: latest committed store per
-	// address. Initial contents come from the persisted image.
-	mem map[pmm.Addr]*CommittedStore
+	// address, interned by addridx (the heap's Addr space is dense).
+	// Initial contents come from the persisted image. Records are immutable
+	// once committed, so clones share them.
+	mem addridx.Table[*CommittedStore]
 }
 
 // NewMachine returns an empty machine reporting to listener.
@@ -137,13 +157,46 @@ func NewMachine(listener Listener) *Machine {
 	if listener == nil {
 		listener = NopListener{}
 	}
-	return &Machine{
-		listener: listener,
-		sb:       make(map[vclock.TID][]SBEntry),
-		fb:       make(map[vclock.TID][]FBEntry),
-		cv:       make(map[vclock.TID]vclock.VC),
-		mem:      make(map[pmm.Addr]*CommittedStore),
+	return &Machine{listener: listener}
+}
+
+// SpawnThreads declares that the execution runs threads 0..n-1 and fixes the
+// machine's thread range: any later operation naming a TID outside [0, n)
+// panics. Declaring the range up front documents the density invariant the
+// slice-backed layout relies on and sizes the per-thread state once.
+func (m *Machine) SpawnThreads(n int) {
+	if n <= 0 || n > MaxThreads {
+		panic(fmt.Sprintf("tso: thread count %d out of range [1, %d]", n, MaxThreads))
 	}
+	if n < m.declared || n < len(m.sb) {
+		panic(fmt.Sprintf("tso: SpawnThreads(%d) would shrink an existing thread range of %d", n, max(m.declared, len(m.sb))))
+	}
+	m.growThreads(n)
+	m.declared = n
+}
+
+// growThreads extends the per-thread slices to cover n threads.
+func (m *Machine) growThreads(n int) {
+	for len(m.sb) < n {
+		m.sb = append(m.sb, nil)
+		m.fb = append(m.fb, nil)
+		m.cv = append(m.cv, nil)
+	}
+}
+
+// checkTID validates tid against the declared (or on-demand) thread range
+// and ensures its slots exist.
+func (m *Machine) checkTID(tid vclock.TID) {
+	if tid < 0 || int(tid) >= MaxThreads {
+		panic(fmt.Sprintf("tso: thread id %d out of range [0, %d)", tid, MaxThreads))
+	}
+	if m.declared > 0 {
+		if int(tid) >= m.declared {
+			panic(fmt.Sprintf("tso: thread id %d outside the declared dense range [0, %d) — spawn threads contiguously", tid, m.declared))
+		}
+		return
+	}
+	m.growThreads(int(tid) + 1)
 }
 
 // Clone returns an independent machine with the same buffered and committed
@@ -165,15 +218,21 @@ func (m *Machine) Clone(listener Listener) *Machine {
 	c := &Machine{
 		listener: listener,
 		seq:      m.seq,
-		sb:       make(map[vclock.TID][]SBEntry, len(m.sb)),
-		fb:       make(map[vclock.TID][]FBEntry, len(m.fb)),
-		cv:       make(map[vclock.TID]vclock.VC, len(m.cv)),
-		mem:      make(map[pmm.Addr]*CommittedStore, len(m.mem)),
+		declared: m.declared,
+		sb:       make([][]SBEntry, len(m.sb)),
+		fb:       make([][]FBEntry, len(m.fb)),
+		cv:       make([]vclock.VC, len(m.cv)),
+		mem:      m.mem.Clone(), // flat: records are immutable once committed
 	}
 	for t, buf := range m.sb {
-		c.sb[t] = append([]SBEntry(nil), buf...)
+		if len(buf) > 0 {
+			c.sb[t] = append([]SBEntry(nil), buf...)
+		}
 	}
 	for t, buf := range m.fb {
+		if len(buf) == 0 {
+			continue
+		}
 		nb := make([]FBEntry, len(buf))
 		for i, e := range buf {
 			e.CV = e.CV.Clone()
@@ -184,16 +243,13 @@ func (m *Machine) Clone(listener Listener) *Machine {
 	for t, vc := range m.cv {
 		c.cv[t] = vc.Clone()
 	}
-	for a, rec := range m.mem {
-		c.mem[a] = rec
-	}
 	return c
 }
 
 // SeedMemory installs an initial, already-persisted value. Seeded values
 // have Seq 0 and carry no clock: they predate the execution.
 func (m *Machine) SeedMemory(addr pmm.Addr, size int, val uint64) {
-	m.mem[addr] = &CommittedStore{Addr: addr, Size: size, Val: val}
+	m.mem.Set(addr, &CommittedStore{Addr: addr, Size: size, Val: val})
 }
 
 // CurSeq returns the last assigned global sequence number.
@@ -202,23 +258,23 @@ func (m *Machine) CurSeq() vclock.Seq { return m.seq }
 // ThreadCV returns (a copy of) the thread's current happens-before clock.
 func (m *Machine) ThreadCV(tid vclock.TID) vclock.VC { return m.threadCV(tid).Clone() }
 
-func (m *Machine) threadCV(tid vclock.TID) vclock.VC {
-	cv, ok := m.cv[tid]
-	if !ok {
-		cv = vclock.New()
-		m.cv[tid] = cv
-	}
-	return cv
+// threadCV returns a pointer to the thread's live clock. The pointer is
+// invalidated if the per-thread slices grow; use it immediately.
+func (m *Machine) threadCV(tid vclock.TID) *vclock.VC {
+	m.checkTID(tid)
+	return &m.cv[tid]
 }
 
 // EnqueueStore appends a store to the thread's store buffer.
 func (m *Machine) EnqueueStore(tid vclock.TID, addr pmm.Addr, size int, val uint64, atomic, release bool) {
+	m.checkTID(tid)
 	m.sb[tid] = append(m.sb[tid], SBEntry{Kind: OpStore, Addr: addr, Size: size, Val: val, Atomic: atomic, Release: release})
 }
 
 // EnqueueCLFlush appends a clflush; it commits in store-buffer order like a
 // store (Px86sim Table 1: clflush is ordered with respect to writes).
 func (m *Machine) EnqueueCLFlush(tid vclock.TID, addr pmm.Addr) {
+	m.checkTID(tid)
 	m.sb[tid] = append(m.sb[tid], SBEntry{Kind: OpCLFlush, Addr: addr})
 }
 
@@ -226,24 +282,37 @@ func (m *Machine) EnqueueCLFlush(tid vclock.TID, addr pmm.Addr) {
 // becomes persistent only at the next same-thread fence, modelling clwb /
 // clflushopt reordering freedom.
 func (m *Machine) EnqueueCLWB(tid vclock.TID, addr pmm.Addr) {
+	m.checkTID(tid)
 	m.sb[tid] = append(m.sb[tid], SBEntry{Kind: OpCLWB, Addr: addr})
 }
 
 // EnqueueSFence appends an sfence; on eviction it flushes the thread's flush
 // buffer.
 func (m *Machine) EnqueueSFence(tid vclock.TID) {
+	m.checkTID(tid)
 	m.sb[tid] = append(m.sb[tid], SBEntry{Kind: OpSFence})
 }
 
 // SBLen returns the number of buffered operations for the thread.
-func (m *Machine) SBLen(tid vclock.TID) int { return len(m.sb[tid]) }
+func (m *Machine) SBLen(tid vclock.TID) int {
+	if int(tid) >= len(m.sb) || tid < 0 {
+		return 0
+	}
+	return len(m.sb[tid])
+}
 
 // FBLen returns the number of pending clwb operations for the thread.
-func (m *Machine) FBLen(tid vclock.TID) int { return len(m.fb[tid]) }
+func (m *Machine) FBLen(tid vclock.TID) int {
+	if int(tid) >= len(m.fb) || tid < 0 {
+		return 0
+	}
+	return len(m.fb[tid])
+}
 
 // EvictOne pops the oldest store-buffer entry of the thread and commits it.
 // It reports whether an entry was evicted.
 func (m *Machine) EvictOne(tid vclock.TID) bool {
+	m.checkTID(tid)
 	buf := m.sb[tid]
 	if len(buf) == 0 {
 		return false
@@ -271,7 +340,7 @@ func (m *Machine) commit(tid vclock.TID, e SBEntry) {
 			TID: tid, Seq: m.seq, CV: cv.Clone(),
 			Atomic: e.Atomic, Release: e.Release,
 		}
-		m.mem[e.Addr] = rec
+		m.mem.Set(e.Addr, rec)
 		m.listener.StoreCommitted(rec)
 	case OpCLFlush:
 		m.seq++
@@ -325,14 +394,15 @@ func (m *Machine) Load(tid vclock.TID, addr pmm.Addr, size int, acquire bool) (u
 // current-execution values apart from values seeded across a crash.
 func (m *Machine) LoadDetail(tid vclock.TID, addr pmm.Addr, size int, acquire bool) (uint64, *CommittedStore, bool) {
 	// Bypass: most recent same-address store in the thread's own buffer.
+	m.checkTID(tid)
 	buf := m.sb[tid]
 	for i := len(buf) - 1; i >= 0; i-- {
 		if buf[i].Kind == OpStore && buf[i].Addr == addr {
 			return truncate(buf[i].Val, size), nil, true
 		}
 	}
-	rec, ok := m.mem[addr]
-	if !ok {
+	rec := m.mem.At(addr)
+	if rec == nil {
 		return 0, nil, false
 	}
 	if acquire && rec.Release {
@@ -348,7 +418,7 @@ func (m *Machine) LoadDetail(tid vclock.TID, addr pmm.Addr, size int, acquire bo
 func (m *Machine) RMW(tid vclock.TID, addr pmm.Addr, size int, f func(old uint64) (uint64, bool)) (uint64, bool) {
 	m.MFence(tid)
 	var old uint64
-	if rec, ok := m.mem[addr]; ok {
+	if rec := m.mem.At(addr); rec != nil {
 		old = truncate(rec.Val, size)
 		if rec.Release {
 			m.threadCV(tid).Join(rec.CV)
@@ -364,7 +434,7 @@ func (m *Machine) RMW(tid vclock.TID, addr pmm.Addr, size int, f func(old uint64
 			TID: tid, Seq: m.seq, CV: cv.Clone(),
 			Atomic: true, Release: true,
 		}
-		m.mem[addr] = rec
+		m.mem.Set(addr, rec)
 		m.listener.StoreCommitted(rec)
 	}
 	return old, write
@@ -373,16 +443,20 @@ func (m *Machine) RMW(tid vclock.TID, addr pmm.Addr, size int, f func(old uint64
 // VolatileValue returns the current cache-visible value at addr (ignoring
 // store buffers), for engine-side image construction.
 func (m *Machine) VolatileValue(addr pmm.Addr) (*CommittedStore, bool) {
-	rec, ok := m.mem[addr]
-	return rec, ok
+	rec := m.mem.At(addr)
+	return rec, rec != nil
 }
 
-// Addresses returns every address with a cache-visible value.
+// Addresses returns every address with a cache-visible value, in ascending
+// address order.
 func (m *Machine) Addresses() []pmm.Addr {
-	out := make([]pmm.Addr, 0, len(m.mem))
-	for a := range m.mem {
-		out = append(out, a)
-	}
+	var out []pmm.Addr
+	m.mem.ForEach(func(a pmm.Addr, rec *CommittedStore) bool {
+		if rec != nil {
+			out = append(out, a)
+		}
+		return true
+	})
 	return out
 }
 

@@ -10,11 +10,12 @@ package vclock
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
-// TID identifies a simulated thread. Thread 0 is the main thread.
+// TID identifies a simulated thread. Thread 0 is the main thread. TIDs are
+// small and dense — the simulator spawns threads 0..n-1 — which is what lets
+// VC index components directly instead of hashing them.
 type TID int
 
 // Seq is a global sequence number assigned to an operation when it takes
@@ -22,49 +23,75 @@ type TID int
 // operation receives Seq 1.
 type Seq uint64
 
+// maxTID bounds clock growth: a component index beyond this is a corrupt TID
+// (the simulator never runs more than a handful of threads), not a clock.
+const maxTID = 1 << 16
+
 // VC is a vector clock: for each thread τ, the largest Seq of an operation by
-// τ known to happen before the point the clock describes. The zero value is
-// an empty clock ready for use, but callers typically use New.
+// τ known to happen before the point the clock describes. It is a dense slice
+// indexed by TID; a component beyond len(v) — or equal to zero — means "never
+// happened". The zero value (nil) is an empty clock ready for use.
 //
-// VC values are small maps; Clone before sharing across events.
-type VC map[TID]Seq
+// Set and Join take pointer receivers because raising a component for a TID
+// past the current length grows the slice; Get, Contains, LeqAll, Max and
+// String work on values and accept nil.
+type VC []Seq
 
 // New returns an empty vector clock.
-func New() VC { return make(VC) }
+func New() VC { return nil }
 
 // Get returns the component for τ, zero if absent.
 func (v VC) Get(t TID) Seq {
-	if v == nil {
+	if int(t) < 0 || int(t) >= len(v) {
 		return 0
 	}
 	return v[t]
 }
 
+// grow extends v so that component t is addressable.
+func (v *VC) grow(t TID) {
+	if t < 0 || t >= maxTID {
+		panic(fmt.Sprintf("vclock: thread id %d out of range [0, %d)", t, maxTID))
+	}
+	if int(t) < len(*v) {
+		return
+	}
+	n := make(VC, t+1)
+	copy(n, *v)
+	*v = n
+}
+
 // Set raises the component for τ to s. Lowering is not permitted; Set panics
 // if s is smaller than the current component, because clock components are
 // monotone by construction (σ increases globally).
-func (v VC) Set(t TID, s Seq) {
-	if cur := v[t]; s < cur {
+func (v *VC) Set(t TID, s Seq) {
+	if cur := v.Get(t); s < cur {
 		panic(fmt.Sprintf("vclock: component for thread %d would regress from %d to %d", t, cur, s))
 	}
-	v[t] = s
+	v.grow(t)
+	(*v)[t] = s
 }
 
 // Join merges other into v, component-wise maximum.
-func (v VC) Join(other VC) {
+func (v *VC) Join(other VC) {
+	if len(other) > len(*v) {
+		v.grow(TID(len(other) - 1))
+	}
+	d := *v
 	for t, s := range other {
-		if s > v[t] {
-			v[t] = s
+		if s > d[t] {
+			d[t] = s
 		}
 	}
 }
 
 // Clone returns an independent copy of v.
 func (v VC) Clone() VC {
-	c := make(VC, len(v))
-	for t, s := range v {
-		c[t] = s
+	if len(v) == 0 {
+		return nil
 	}
+	c := make(VC, len(v))
+	copy(c, v)
 	return c
 }
 
@@ -82,7 +109,7 @@ func (v VC) Contains(t TID, s Seq) bool {
 // other (v happens-before-or-equal other).
 func (v VC) LeqAll(other VC) bool {
 	for t, s := range v {
-		if s > other.Get(t) {
+		if s > other.Get(TID(t)) {
 			return false
 		}
 	}
@@ -100,23 +127,22 @@ func (v VC) Max() Seq {
 	return m
 }
 
-// String renders the clock deterministically, for logs and tests.
+// String renders the clock deterministically, for logs and tests. Zero
+// components are omitted: they are indistinguishable from absent ones in
+// every operation the clock supports.
 func (v VC) String() string {
-	if len(v) == 0 {
-		return "{}"
-	}
-	tids := make([]int, 0, len(v))
-	for t := range v {
-		tids = append(tids, int(t))
-	}
-	sort.Ints(tids)
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, t := range tids {
-		if i > 0 {
+	first := true
+	for t, s := range v {
+		if s == 0 {
+			continue
+		}
+		if !first {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%d:%d", t, v[TID(t)])
+		first = false
+		fmt.Fprintf(&b, "%d:%d", t, s)
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -46,8 +46,8 @@ func TestJoin(t *testing.T) {
 	a.Join(b)
 	want := VC{1: 7, 2: 9, 3: 2}
 	for tid, s := range want {
-		if a.Get(tid) != s {
-			t.Fatalf("after join, component %d = %d, want %d", tid, a.Get(tid), s)
+		if a.Get(TID(tid)) != s {
+			t.Fatalf("after join, component %d = %d, want %d", tid, a.Get(TID(tid)), s)
 		}
 	}
 }
