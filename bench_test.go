@@ -103,55 +103,69 @@ func BenchmarkTable3Parallel(b *testing.B) {
 	}
 }
 
-// BenchmarkTable3Checkpoint (E18): the Table 3 model-checking sweep with
-// checkpointed pre-crash execution on vs off. Race counts are identical
-// (the checkpoint equivalence contract); the simops metric — operations the
-// engine actually stepped through the scheduler — is the measured win:
-// resuming from snapshots removes the O(C·n) pre-crash re-simulation. The
-// parent benchmark writes the BENCH_table3.json artifact so the perf
-// trajectory is tracked across changes.
+// BenchmarkTable3Checkpoint (E18/E20): the Table 3 model-checking sweep
+// across the engine's two fast paths — checkpointed pre-crash execution
+// (on/off) and the solo-thread direct-run lease (default / "-nodirect").
+// Race counts are identical in all four modes (the equivalence contracts);
+// the simops metric is the checkpoint layer's win (snapshots remove the
+// O(C·n) pre-crash re-simulation) and the handoffs/direct_ops split is the
+// lease's win (leased operations skip the two-channel scheduler handshake).
+// The parent benchmark writes the BENCH_table3.json artifact so the perf
+// trajectory is tracked across changes; cmd/benchguard compares a fresh run
+// against the committed artifact in CI.
 func BenchmarkTable3Checkpoint(b *testing.B) {
 	type measurement struct {
 		NsPerOp      int64   `json:"ns_per_op"`
 		SimulatedOps int64   `json:"simulated_ops"`
+		Handoffs     int64   `json:"handoffs"`
+		DirectOps    int64   `json:"direct_ops"`
 		Races        float64 `json:"races"`
 		AllocsPerOp  uint64  `json:"allocs_per_op"`
 		BytesPerOp   uint64  `json:"bytes_per_op"`
 	}
 	results := map[string]*measurement{}
-	for _, ck := range []struct {
-		name string
-		mode engine.CheckpointMode
+	for _, mode := range []struct {
+		name   string
+		ck     engine.CheckpointMode
+		direct engine.DirectRunMode
 	}{
-		{"on", engine.CheckpointOn},
-		{"off", engine.CheckpointOff},
+		{"on", engine.CheckpointOn, engine.DirectRunOn},
+		{"off", engine.CheckpointOff, engine.DirectRunOn},
+		{"on-nodirect", engine.CheckpointOn, engine.DirectRunOff},
+		{"off-nodirect", engine.CheckpointOff, engine.DirectRunOff},
 	} {
-		ck := ck
+		mode := mode
 		m := &measurement{}
-		results[ck.name] = m
-		b.Run("checkpoint-"+ck.name, func(b *testing.B) {
+		results[mode.name] = m
+		b.Run("checkpoint-"+mode.name, func(b *testing.B) {
 			b.ReportAllocs()
 			races := 0
-			var simOps int64
+			var simOps, handoffs, directOps int64
 			// The testing package's alloc counters aren't readable from inside
 			// the benchmark, so mirror them with ReadMemStats deltas for the
 			// JSON artifact. Counts match -benchmem up to GC bookkeeping noise.
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
 			for i := 0; i < b.N; i++ {
-				races, simOps = 0, 0
+				races, simOps, handoffs, directOps = 0, 0, 0, 0
 				for _, spec := range tables.IndexSpecs() {
 					res := engine.Run(spec.Make, engine.Options{
-						Mode: engine.ModelCheck, Prefix: true, Checkpoint: ck.mode})
+						Mode: engine.ModelCheck, Prefix: true,
+						Checkpoint: mode.ck, DirectRun: mode.direct})
 					races += res.Report.Count()
 					simOps += res.Stats.SimulatedOps
+					handoffs += res.Stats.Handoffs
+					directOps += res.Stats.DirectOps
 				}
 			}
 			runtime.ReadMemStats(&after)
 			b.ReportMetric(float64(races), "races")
 			b.ReportMetric(float64(simOps), "simops")
+			b.ReportMetric(float64(handoffs), "handoffs")
 			m.NsPerOp = b.Elapsed().Nanoseconds() / int64(b.N)
 			m.SimulatedOps = simOps
+			m.Handoffs = handoffs
+			m.DirectOps = directOps
 			m.Races = float64(races)
 			m.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(b.N)
 			m.BytesPerOp = (after.TotalAlloc - before.TotalAlloc) / uint64(b.N)
@@ -172,6 +186,107 @@ func BenchmarkTable3Checkpoint(b *testing.B) {
 	}
 	if err := os.WriteFile("BENCH_table3.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatalf("write BENCH_table3.json: %v", err)
+	}
+}
+
+// BenchmarkSchedulerHandoff (E20): the per-operation scheduler cost in
+// isolation — a Yield-heavy workload where every operation is a scheduling
+// point and nothing else happens. With one thread the direct-run lease
+// eliminates the handshake entirely; with four threads it can only cover
+// the tail after three finish, so the pair brackets the lease's reach.
+func BenchmarkSchedulerHandoff(b *testing.B) {
+	mkProg := func(threads int) func() yashme.Program {
+		return func() yashme.Program {
+			var val yashme.Addr
+			workers := make([]func(*yashme.Thread), threads)
+			for w := range workers {
+				workers[w] = func(t *yashme.Thread) {
+					for i := 0; i < 500; i++ {
+						t.Yield()
+					}
+				}
+			}
+			return yashme.Program{
+				Name: "handoff",
+				Setup: func(h *yashme.Heap) {
+					val = h.AllocStruct("o", yashme.Layout{{Name: "v", Size: 8}}).F("v")
+				},
+				Workers:   workers,
+				PostCrash: func(t *yashme.Thread) { t.Load64(val) },
+			}
+		}
+	}
+	for _, threads := range []int{1, 4} {
+		for _, direct := range []struct {
+			name string
+			mode engine.DirectRunMode
+		}{
+			{"direct", engine.DirectRunOn},
+			{"handshake", engine.DirectRunOff},
+		} {
+			threads, direct := threads, direct
+			b.Run("threads-"+itoa(threads)+"/"+direct.name, func(b *testing.B) {
+				b.ReportAllocs()
+				mk := mkProg(threads)
+				var handoffs, directOps int64
+				for i := 0; i < b.N; i++ {
+					res := yashme.RunOnce(mk, yashme.Options{
+						Prefix: true, DirectRun: direct.mode}, 0, yashme.PersistLatest, 1)
+					handoffs, directOps = res.Stats.Handoffs, res.Stats.DirectOps
+				}
+				b.ReportMetric(float64(handoffs), "handoffs")
+				b.ReportMetric(float64(directOps), "directops")
+			})
+		}
+	}
+}
+
+// BenchmarkSoloRecovery (E20): a full single-threaded model-checking sweep —
+// the shape the lease targets end to end, since the pre-crash workload, every
+// checkpointed resume, and every recovery execution all run solo.
+func BenchmarkSoloRecovery(b *testing.B) {
+	mk := func() yashme.Program {
+		var base yashme.Addr
+		return yashme.Program{
+			Name: "solo",
+			Setup: func(h *yashme.Heap) {
+				base = h.AllocStruct("o", yashme.Layout{
+					{Name: "a", Size: 8}, {Name: "b", Size: 8},
+					{Name: "c", Size: 8}, {Name: "d", Size: 8},
+				}).F("a")
+			},
+			Workers: []func(*yashme.Thread){func(t *yashme.Thread) {
+				for i := 0; i < 40; i++ {
+					t.Store64(base+yashme.Addr(8*(i%4)), uint64(i))
+					t.CLWB(base + yashme.Addr(8*(i%4)))
+					t.SFence()
+				}
+			}},
+			PostCrash: func(t *yashme.Thread) {
+				for i := 0; i < 4; i++ {
+					t.Load64(base + yashme.Addr(8*i))
+				}
+			},
+		}
+	}
+	for _, direct := range []struct {
+		name string
+		mode engine.DirectRunMode
+	}{
+		{"direct", engine.DirectRunOn},
+		{"handshake", engine.DirectRunOff},
+	} {
+		direct := direct
+		b.Run(direct.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var directOps int64
+			for i := 0; i < b.N; i++ {
+				res := yashme.Run(mk, yashme.Options{
+					Mode: yashme.ModelCheck, Prefix: true, DirectRun: direct.mode})
+				directOps = res.Stats.DirectOps
+			}
+			b.ReportMetric(float64(directOps), "directops")
+		})
 	}
 }
 

@@ -1,0 +1,118 @@
+// Command benchguard is the CI perf canary for the Table 3 sweep: it
+// compares a freshly generated BENCH_table3.json against the committed
+// baseline and exits non-zero if correctness or performance regressed.
+//
+//	go test -run xxx -bench BenchmarkTable3Checkpoint .
+//	go run ./cmd/benchguard -baseline <committed>.json -fresh BENCH_table3.json
+//
+// Two checks:
+//
+//   - every mode of the fresh artifact must report exactly 19 races — the
+//     paper's Table 3 row count. A drift in either direction means a
+//     detector or equivalence bug, not noise;
+//   - for every mode present in both artifacts, fresh ns_per_op must not
+//     exceed the baseline by more than -tolerance (default 25%). CI runners
+//     are noisy, so the bar is deliberately loose; a real regression from a
+//     scheduling or allocation change lands far beyond it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// measurement mirrors the per-mode object of BENCH_table3.json (written by
+// BenchmarkTable3Checkpoint). Unknown fields are ignored so the guard
+// tolerates artifact growth.
+type measurement struct {
+	NsPerOp      int64   `json:"ns_per_op"`
+	SimulatedOps int64   `json:"simulated_ops"`
+	Handoffs     int64   `json:"handoffs"`
+	DirectOps    int64   `json:"direct_ops"`
+	Races        float64 `json:"races"`
+}
+
+type artifact struct {
+	Benchmark string                  `json:"benchmark"`
+	Modes     map[string]*measurement `json:"modes"`
+}
+
+func load(path string) (*artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(a.Modes) == 0 {
+		return nil, fmt.Errorf("%s: no modes in artifact", path)
+	}
+	return &a, nil
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "", "committed BENCH_table3.json to compare against")
+	freshPath := flag.String("fresh", "BENCH_table3.json", "freshly generated artifact")
+	wantRaces := flag.Float64("races", 19, "exact race count every mode must report (Table 3)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns_per_op regression vs baseline")
+	flag.Parse()
+	if *baselinePath == "" {
+		return fmt.Errorf("-baseline is required")
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		return err
+	}
+
+	var names []string
+	for name := range fresh.Modes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	for _, name := range names {
+		m := fresh.Modes[name]
+		if m.Races != *wantRaces {
+			failures = append(failures, fmt.Sprintf(
+				"mode %q: races = %v, want exactly %v", name, m.Races, *wantRaces))
+		}
+		base, ok := baseline.Modes[name]
+		if !ok || base.NsPerOp <= 0 {
+			fmt.Printf("mode %-14s %12d ns/op  (no baseline)\n", name, m.NsPerOp)
+			continue
+		}
+		ratio := float64(m.NsPerOp) / float64(base.NsPerOp)
+		fmt.Printf("mode %-14s %12d ns/op  baseline %12d  ratio %.3f\n",
+			name, m.NsPerOp, base.NsPerOp, ratio)
+		if ratio > 1+*tolerance {
+			failures = append(failures, fmt.Sprintf(
+				"mode %q: ns_per_op regressed %.1f%% (limit %.0f%%): %d -> %d",
+				name, (ratio-1)*100, *tolerance*100, base.NsPerOp, m.NsPerOp))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		return fmt.Errorf("%d check(s) failed", len(failures))
+	}
+	fmt.Println("benchguard: all checks passed")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}

@@ -29,6 +29,7 @@ func run() int {
 	format := flag.String("format", "text", "output format: text | markdown (2b, 3, 4 and 5 only)")
 	workers := flag.Int("workers", 0, "crash scenarios run concurrently (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	checkpoint := flag.Bool("checkpoint", true, "model-check: resume crash scenarios from pre-crash snapshots (results identical; =false re-simulates every prefix)")
+	directrun := flag.Bool("directrun", true, "run a solo runnable thread inline without scheduler handoffs (results identical; =false pays the handshake on every op)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -36,6 +37,9 @@ func run() int {
 	tables.Workers = *workers
 	if !*checkpoint {
 		tables.Checkpoint = engine.CheckpointOff
+	}
+	if !*directrun {
+		tables.DirectRun = engine.DirectRunOff
 	}
 
 	if *cpuprofile != "" {

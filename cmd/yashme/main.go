@@ -50,6 +50,7 @@ func run() int {
 		reads      = flag.Bool("explore-reads", false, "model-check: explore per-line persist-point read choices (Jaaru-style)")
 		workers    = flag.Int("workers", 0, "crash scenarios run concurrently (0 = GOMAXPROCS, 1 = sequential; results identical)")
 		checkpoint = flag.Bool("checkpoint", true, "model-check: resume crash scenarios from pre-crash snapshots (results identical; =false re-simulates every prefix)")
+		directrun  = flag.Bool("directrun", true, "run a solo runnable thread inline without scheduler handoffs (results identical; =false pays the handshake on every op)")
 		maxOps     = flag.Int("maxops", 0, "per-execution simulated-operation bound (0 = engine default)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -137,6 +138,9 @@ func run() int {
 	}
 	if !*checkpoint {
 		opts.Checkpoint = engine.CheckpointOff
+	}
+	if !*directrun {
+		opts.DirectRun = engine.DirectRunOff
 	}
 	if *suppress != "" {
 		opts.Suppress = strings.Split(*suppress, ",")

@@ -80,6 +80,17 @@ func (t *Table[T]) Set(a pmm.Addr, v T) {
 	t.slots[a] = v
 }
 
+// Peek returns a pointer to the slot for a without growing the table, or nil
+// if the table has never grown that far. Unlike At it does not copy the slot
+// value, so it is the read path for large T. The pointer is invalidated by
+// the next growth.
+func (t *Table[T]) Peek(a pmm.Addr) *T {
+	if int(a) >= len(t.slots) {
+		return nil
+	}
+	return &t.slots[a]
+}
+
 // Clone returns an independent flat copy of the table. Slot values are
 // copied shallowly: reference-typed state must be immutable or cloned by the
 // caller.

@@ -189,15 +189,21 @@ func (e *Execution) CrashSeq() vclock.Seq { return e.crashSeq }
 
 // StoredAddrs returns every address written in this execution, in ascending
 // address order.
-func (e *Execution) StoredAddrs() []pmm.Addr {
-	var out []pmm.Addr
-	e.storeTab.ForEach(func(a pmm.Addr, r StoreRef) bool {
-		if r != 0 {
-			out = append(out, a)
+func (e *Execution) StoredAddrs() []pmm.Addr { return e.AppendStoredAddrs(nil) }
+
+// AppendStoredAddrs appends every address written in this execution to buf,
+// in ascending address order, and returns the extended slice. Callers on the
+// hot image-derivation path pass a reused scratch buffer so the walk stays
+// allocation-free.
+func (e *Execution) AppendStoredAddrs(buf []pmm.Addr) []pmm.Addr {
+	// Plain index loop: a ForEach closure would capture buf by reference and
+	// cost a heap cell per call on this per-scenario path.
+	for a, n := pmm.Addr(0), pmm.Addr(e.storeTab.Len()); a < n; a++ {
+		if e.storeTab.At(a) != 0 {
+			buf = append(buf, a)
 		}
-		return true
-	})
-	return out
+	}
+	return buf
 }
 
 // Config selects the detector variant.

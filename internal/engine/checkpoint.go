@@ -14,15 +14,18 @@
 //
 //   - the persistent heap (pmm.Heap.Clone) and the detector with its report
 //     (core.Detector.Clone) — the full pre-crash analysis state;
-//   - the persisted image map. Image provenance names stores by (execution
+//   - the persisted image table. Image provenance names stores by (execution
 //     stack index, arena ref), both of which survive a detector clone
-//     unchanged, so capture and resume copy the map as-is — no pointer
+//     unchanged, so capture and resume clone the table as-is — no pointer
 //     remapping. Candidate slices are immutable once stored (buildImage
-//     always assembles fresh ones), so the copy is shallow;
+//     always assembles fresh ones), so the flat clone's shallow slot copies
+//     fully detach the snapshot;
 //   - the trace recorder's event log, when tracing is on;
-//   - the rng stream position (a raw-draw count) plus the crash-unwind draw
-//     count, so a resume reproduces the exact rand.Rand state a from-scratch
-//     scenario holds after its crash unwinds the remaining threads;
+//   - the scheduler rng: a copy of the generator state (or, when state
+//     mirroring is unavailable — see rngstate.go — a raw-draw count to
+//     re-skip) plus the crash-unwind draw count, so a resume reproduces the
+//     exact rand.Rand state a from-scratch scenario holds after its crash
+//     unwinds the remaining threads;
 //   - the crash sequence number — NOT the TSO machine. A crash discards
 //     every buffered store and flush by definition, and the post-crash
 //     machine is freshly seeded from the image, so the machine's only
@@ -30,8 +33,8 @@
 //     tooling, not for this layer).
 //
 // Snapshots are read-only templates shared by every scenario of a schedule
-// (including concurrent workers): a resume clones the detector again, copies
-// the image map again, and copies the heap state and event log into scenario-
+// (including concurrent workers): a resume clones the detector again, clones
+// the image table again, and copies the heap state and event log into scenario-
 // private objects. Nothing ever mutates a snapshot after capture.
 //
 // The same mechanism handles the recursive cases: a primary scenario that
@@ -49,32 +52,59 @@ import (
 	"yashme/internal/vclock"
 )
 
-// countingSource wraps a math/rand source and counts raw draws. Every
-// rand.Rand method funnels through Int63/Uint64, and each call advances the
-// underlying generator by a fixed number of steps, so the count identifies
-// the stream position exactly: a fresh source that skips the same number of
-// draws continues the stream byte-identically.
+// countingSource is the scheduler's rand.Source64: a math/rand generator
+// whose stream position is both counted and copyable. When the rngState
+// mirror validates (see rngstate.go) the seeded state is extracted once and
+// stepped locally, so fork() can hand a snapshot an independent copy at the
+// current position — a resume then continues the stream with a struct copy
+// instead of re-seeding and replaying n draws. When the mirror is
+// unavailable the stdlib source is kept and resumes fall back to
+// seed-and-skip via the draw count; results are byte-identical either way.
 type countingSource struct {
-	src rand.Source
-	s64 rand.Source64 // nil if src lacks Uint64
-	n   uint64
+	state    rngState
+	mirrored bool
+	src      rand.Source   // fallback only
+	s64      rand.Source64 // nil if src lacks Uint64
+	n        uint64
 }
 
 func newCountingSource(seed int64) *countingSource {
 	src := rand.NewSource(seed)
-	cs := &countingSource{src: src}
+	cs := &countingSource{}
+	if extractRngState(src, &cs.state) {
+		cs.mirrored = true
+		return cs
+	}
+	cs.src = src
 	if s64, ok := src.(rand.Source64); ok {
 		cs.s64 = s64
 	}
 	return cs
 }
 
+// fork returns an independent copy positioned at the current stream point,
+// or nil when the state cannot be copied (nil source or mirror unavailable).
+func (c *countingSource) fork() *countingSource {
+	if c == nil || !c.mirrored {
+		return nil
+	}
+	cp := *c
+	return &cp
+}
+
 func (c *countingSource) Int63() int64 {
 	c.n++
+	if c.mirrored {
+		return c.state.Int63()
+	}
 	return c.src.Int63()
 }
 
 func (c *countingSource) Uint64() uint64 {
+	if c.mirrored {
+		c.n++
+		return c.state.Uint64()
+	}
 	if c.s64 != nil {
 		c.n++
 		return c.s64.Uint64()
@@ -86,7 +116,11 @@ func (c *countingSource) Uint64() uint64 {
 }
 
 func (c *countingSource) Seed(seed int64) {
-	c.src.Seed(seed)
+	if c.mirrored {
+		extractRngState(rand.NewSource(seed), &c.state)
+	} else {
+		c.src.Seed(seed)
+	}
 	c.n = 0
 }
 
@@ -94,7 +128,11 @@ func (c *countingSource) Seed(seed int64) {
 // every rand.NewSource implementation, with or without Source64).
 func (c *countingSource) skip(n uint64) {
 	for i := uint64(0); i < n; i++ {
-		c.src.Int63()
+		if c.mirrored {
+			c.state.Uint64()
+		} else {
+			c.src.Int63()
+		}
 	}
 	c.n += n
 }
@@ -112,20 +150,23 @@ type snapshot struct {
 	// crashSeq is the commit sequence at the point — what the crashed
 	// machine's CurSeq would report.
 	crashSeq vclock.Seq
-	// rngDraws is the rng stream position at the point; unwind is the number
-	// of still-live threads minus one, each of which costs the scheduler one
-	// bounded draw while the crash unwinds them.
+	// rng is a copy of the generator at the point (nil when state mirroring
+	// is unavailable); rngDraws is the stream position for the seed-and-skip
+	// fallback. unwind is the number of still-live threads minus one, each of
+	// which costs the scheduler one bounded draw while the crash unwinds them.
+	rng      *countingSource
 	rngDraws uint64
 	unwind   int
 	// stats is the scenario's operation counts at the point, with
-	// SimulatedOps zeroed: a resumed scenario inherits the prefix's per-kind
-	// counts but only counts the operations it actually simulates.
+	// SimulatedOps (and its Handoffs/DirectOps split) zeroed: a resumed
+	// scenario inherits the prefix's per-kind counts but only counts the
+	// operations it actually simulates.
 	stats       Stats
 	crashPoints map[int]int
 	heap        *pmm.Heap
 	det         *core.Detector
 	rec         *trace.Recorder // nil unless tracing
-	image       map[pmm.Addr]imageEntry
+	image       imageTable
 	setupAllocs int
 	setupNext   pmm.Addr
 }
@@ -166,16 +207,19 @@ func captureSnapshot(sc *scenario, point int) *snapshot {
 		execIdx:     sc.execIdx,
 		point:       point,
 		crashSeq:    sc.machine.CurSeq(),
+		rng:         sc.rngSrc.fork(),
 		rngDraws:    sc.rngSrc.n,
 		stats:       sc.stats,
 		crashPoints: make(map[int]int, len(sc.crashPoints)),
 		heap:        sc.heap.Clone(),
 		det:         sc.det.Clone(),
-		image:       copyImage(sc.image),
+		image:       sc.image.clone(),
 		setupAllocs: sc.setupAllocs,
 		setupNext:   sc.setupNext,
 	}
 	snap.stats.SimulatedOps = 0
+	snap.stats.Handoffs = 0
+	snap.stats.DirectOps = 0
 	for k, v := range sc.crashPoints {
 		snap.crashPoints[k] = v
 	}
@@ -188,18 +232,6 @@ func captureSnapshot(sc *scenario, point int) *snapshot {
 		snap.rec = sc.recorder.Clone(nil, nil)
 	}
 	return snap
-}
-
-// copyImage copies an image map. Entries are value types whose candidate
-// slices are immutable once stored (buildImage assembles fresh slices and
-// provenance is positional, not pointers), so a shallow per-entry copy fully
-// detaches the snapshot from the scenario's live map.
-func copyImage(img map[pmm.Addr]imageEntry) map[pmm.Addr]imageEntry {
-	out := make(map[pmm.Addr]imageEntry, len(img))
-	for a, e := range img {
-		out[a] = e
-	}
-	return out
 }
 
 // resumeScenario builds a scenario positioned exactly where a from-scratch
@@ -228,8 +260,11 @@ func resumeScenario(makeProg func() pmm.Program, opts Options, snap *snapshot, p
 	}
 	det := snap.det.Clone()
 	det.SetLabeler(heap.LabelFor)
-	src := newCountingSource(snap.seed)
-	src.skip(snap.rngDraws)
+	src := snap.rng.fork()
+	if src == nil {
+		src = newCountingSource(snap.seed)
+		src.skip(snap.rngDraws)
+	}
 	sc := &scenario{
 		opts:        opts,
 		prog:        prog,
@@ -242,7 +277,7 @@ func resumeScenario(makeProg func() pmm.Program, opts Options, snap *snapshot, p
 		crashPlan:   p,
 		crashPoints: make(map[int]int, len(snap.crashPoints)),
 		execIdx:     snap.execIdx,
-		image:       copyImage(snap.image),
+		image:       snap.image.clone(),
 		stats:       snap.stats,
 		setupAllocs: snap.setupAllocs,
 		setupNext:   snap.setupNext,

@@ -51,7 +51,12 @@ func TestCheckpointMatchesScratch(t *testing.T) {
 				}
 				onStats, offStats := on.Stats, off.Stats
 				onSim, offSim := onStats.SimulatedOps, offStats.SimulatedOps
+				// SimulatedOps — and its Handoffs/DirectOps split — counts
+				// work done, which checkpointing exists to reduce; everything
+				// else must match exactly.
 				onStats.SimulatedOps, offStats.SimulatedOps = 0, 0
+				onStats.Handoffs, offStats.Handoffs = 0, 0
+				onStats.DirectOps, offStats.DirectOps = 0, 0
 				if onStats != offStats {
 					t.Fatalf("seed %d: stats diverge:\non:  %+v\noff: %+v", seed, onStats, offStats)
 				}

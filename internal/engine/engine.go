@@ -85,6 +85,25 @@ const (
 	CheckpointOff
 )
 
+// DirectRunMode selects whether the controlled scheduler grants a
+// solo-thread direct-run lease (runner.go): when exactly one thread is
+// runnable — single-threaded workloads, post-crash recovery executions, the
+// tail of an execution after the other threads finished — the thread runs
+// inline with no channel handoff and no goroutine switch until a second
+// thread becomes runnable or it ends. The lease cannot change results: the
+// scheduler only draws from the rng when more than one thread is runnable,
+// so a solo phase makes no scheduling decisions either way. The zero value
+// is on; DirectRunOff forces the handshake for every operation (the escape
+// hatch, and the baseline the equivalence tests compare against).
+type DirectRunMode int
+
+const (
+	// DirectRunOn grants solo-thread leases (default).
+	DirectRunOn DirectRunMode = iota
+	// DirectRunOff pays the scheduler handshake on every operation.
+	DirectRunOff
+)
+
 // DefaultMaxOps is the Options.MaxOps applied when the field is zero: the
 // per-execution simulated-operation bound that turns a runaway workload
 // (typically an unbounded spin loop) into a diagnostic panic instead of a
@@ -161,6 +180,10 @@ type Options struct {
 	// ModelCheck (default CheckpointOn; see CheckpointMode). Results are
 	// byte-identical in both modes.
 	Checkpoint CheckpointMode
+	// DirectRun controls the solo-thread direct-run scheduler lease (default
+	// DirectRunOn; see DirectRunMode). Results are byte-identical in both
+	// modes.
+	DirectRun DirectRunMode
 	// MaxOps bounds the simulated operations of one execution (0 =
 	// DefaultMaxOps); exceeding it panics with a diagnostic.
 	MaxOps int
@@ -206,6 +229,13 @@ func (o Options) withDefaults() Options {
 // stepped through the scheduler (including probe runs and Yields), so it
 // shrinks when scenarios resume from snapshots: the ratio between the two
 // modes is the checkpoint layer's measured win.
+//
+// Handoffs and DirectOps split SimulatedOps by how each operation reached
+// the scheduler: Handoffs paid the full handshake (two channel round trips
+// plus a goroutine switch), DirectOps ran inline under a solo-thread
+// direct-run lease (Options.DirectRun). Handoffs + DirectOps ==
+// SimulatedOps always; like SimulatedOps, both counters vary with the
+// DirectRun and Checkpoint modes while every other counter does not.
 type Stats struct {
 	Stores  int64
 	Loads   int64
@@ -215,6 +245,12 @@ type Stats struct {
 	// SimulatedOps is the number of operations actually simulated (stepped
 	// through the scheduler), across probes and scenarios.
 	SimulatedOps int64
+	// Handoffs counts simulated operations that paid the scheduler
+	// handshake.
+	Handoffs int64
+	// DirectOps counts simulated operations that ran under a direct-run
+	// lease, with no handoff.
+	DirectOps int64
 }
 
 func (s *Stats) add(o Stats) {
@@ -224,6 +260,8 @@ func (s *Stats) add(o Stats) {
 	s.Fences += o.Fences
 	s.RMWs += o.RMWs
 	s.SimulatedOps += o.SimulatedOps
+	s.Handoffs += o.Handoffs
+	s.DirectOps += o.DirectOps
 }
 
 // PointStat records how many distinct races the scenarios crashing before

@@ -94,8 +94,11 @@ type planSummary struct {
 	// first schedule (ModelCheck) or the sum over executions (RandomMode).
 	crashPoints int
 	// simulatedOps counts the operations the probe runs simulated; folded
-	// into Result.Stats.SimulatedOps (specs count their own).
+	// into Result.Stats.SimulatedOps (specs count their own). handoffs and
+	// directOps carry its scheduler-path split the same way.
 	simulatedOps int64
+	handoffs     int64
+	directOps    int64
 	// panicked carries a probe-run panic.
 	panicked any
 }
@@ -119,6 +122,8 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 		})
 		res.CrashPoints = sum.crashPoints
 		res.Stats.SimulatedOps += sum.simulatedOps
+		res.Stats.Handoffs += sum.handoffs
+		res.Stats.DirectOps += sum.directOps
 		return
 	}
 	specCh := make(chan scenarioSpec, workers)
@@ -192,6 +197,8 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 	}
 	res.CrashPoints = sum.crashPoints
 	res.Stats.SimulatedOps += sum.simulatedOps
+	res.Stats.Handoffs += sum.handoffs
+	res.Stats.DirectOps += sum.directOps
 }
 
 // mergeSpec folds one spec outcome into the Result. Called in spec-index
@@ -246,6 +253,8 @@ func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenari
 		}
 		probe.run()
 		sum.simulatedOps += probe.stats.SimulatedOps
+		sum.handoffs += probe.stats.Handoffs
+		sum.directOps += probe.stats.DirectOps
 		n := probe.crashPoints[0]
 		if sched == 0 {
 			sum.crashPoints = n
@@ -294,6 +303,8 @@ func planRandom(makeProg func() pmm.Program, opts Options, emit func(scenarioSpe
 		probe := newScenario(makeProg, opts, plan{}, PersistRandom, schedSeed)
 		probe.run()
 		sum.simulatedOps += probe.stats.SimulatedOps
+		sum.handoffs += probe.stats.Handoffs
+		sum.directOps += probe.stats.DirectOps
 		n := probe.crashPoints[0]
 		sum.crashPoints += n
 		c := 0

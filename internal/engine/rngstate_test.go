@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The mirror must validate on every supported Go release: if this fails,
+// math/rand internals changed and resumes silently take the slow
+// seed-and-skip path.
+func TestRngMirrorValidates(t *testing.T) {
+	if !rngMirrorOK {
+		t.Fatal("rngState mirror failed validation against this Go release's math/rand")
+	}
+}
+
+// A mirrored countingSource must produce the stdlib stream exactly, across
+// the 607-word register wrap.
+func TestCountingSourceMatchesStdlib(t *testing.T) {
+	for _, seed := range []int64{1, 7, 20220326, -5} {
+		cs := newCountingSource(seed)
+		ref := rand.NewSource(seed).(rand.Source64)
+		for i := 0; i < 3000; i++ {
+			if got, want := cs.Uint64(), ref.Uint64(); got != want {
+				t.Fatalf("seed %d draw %d: got %#x, want %#x", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// A fork must continue from the fork point and leave the original stream
+// untouched.
+func TestCountingSourceFork(t *testing.T) {
+	cs := newCountingSource(42)
+	cs.skip(700) // past one register wrap
+	fk := cs.fork()
+	if fk == nil {
+		t.Fatal("fork returned nil with mirroring available")
+	}
+	if fk.n != cs.n {
+		t.Fatalf("fork draw count %d != original %d", fk.n, cs.n)
+	}
+	ref := rand.NewSource(42).(rand.Source64)
+	for i := 0; i < 700; i++ {
+		ref.Uint64()
+	}
+	for i := 0; i < 2000; i++ {
+		if got, want := fk.Uint64(), ref.Uint64(); got != want {
+			t.Fatalf("forked draw %d: got %#x, want %#x", i, got, want)
+		}
+	}
+	// The fork's 2000 draws must not have advanced the original: its next
+	// draw is stream position 701.
+	ref = rand.NewSource(42).(rand.Source64)
+	for i := 0; i < 700; i++ {
+		ref.Uint64()
+	}
+	if got, want := cs.Uint64(), ref.Uint64(); got != want {
+		t.Fatalf("original advanced by fork draws: got %#x, want %#x", got, want)
+	}
+}

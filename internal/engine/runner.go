@@ -3,8 +3,8 @@ package engine
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
+	"yashme/internal/addridx"
 	"yashme/internal/core"
 	"yashme/internal/pmm"
 	"yashme/internal/report"
@@ -62,6 +62,67 @@ type imageEntry struct {
 	prevVal uint64
 }
 
+// imageTable is the persisted memory image, stored two-level: a dense
+// address-indexed table (the heap's Addr space is compact, see
+// internal/addridx) maps each written address to a slot in a packed entries
+// slice. Post-crash loads resolve with two bounds checks instead of a map
+// hash, and the checkpoint layer's image copies are two flat copies — 4
+// index bytes per heap address plus one entry per written address, far
+// smaller than a dense table of the ~70-byte entries themselves. Candidate
+// slices are immutable once stored (buildImage always assembles fresh ones
+// and provenance is positional), so clones share them safely.
+type imageTable struct {
+	// idx maps Addr -> 1-based entries slot (0 = no image record).
+	idx     addridx.Table[int32]
+	entries []imageEntry
+}
+
+// lookup returns the entry for a, nil if the address has no image record.
+// The pointer is invalidated by the next set of a new address.
+func (t *imageTable) lookup(a pmm.Addr) *imageEntry {
+	if p := t.idx.Peek(a); p != nil && *p != 0 {
+		return &t.entries[*p-1]
+	}
+	return nil
+}
+
+// at returns a copy of the entry for a (the zero entry if absent).
+func (t *imageTable) at(a pmm.Addr) (imageEntry, bool) {
+	if e := t.lookup(a); e != nil {
+		return *e, true
+	}
+	return imageEntry{}, false
+}
+
+// set records e as the image entry for a.
+func (t *imageTable) set(a pmm.Addr, e imageEntry) {
+	if p := t.idx.Peek(a); p != nil && *p != 0 {
+		t.entries[*p-1] = e
+		return
+	}
+	t.entries = append(t.entries, e)
+	t.idx.Set(a, int32(len(t.entries)))
+}
+
+// clone returns an independent flat copy; candidate slices are shared (they
+// are immutable once stored).
+func (t *imageTable) clone() imageTable {
+	c := imageTable{idx: t.idx.Clone()}
+	if len(t.entries) > 0 {
+		c.entries = append(make([]imageEntry, 0, len(t.entries)), t.entries...)
+	}
+	return c
+}
+
+// forEach visits every present entry in ascending address order.
+func (t *imageTable) forEach(f func(pmm.Addr, *imageEntry)) {
+	for a, n := pmm.Addr(0), pmm.Addr(t.idx.Len()); a < n; a++ {
+		if p := t.idx.Peek(a); *p != 0 {
+			f(a, &t.entries[*p-1])
+		}
+	}
+}
+
 // scenario runs one crash plan end to end.
 type scenario struct {
 	opts     Options
@@ -92,10 +153,17 @@ type scenario struct {
 	// first crash image offered — the read-exploration frontier.
 	lineChoices map[pmm.Line][]vclock.Seq
 
-	image map[pmm.Addr]imageEntry
+	image imageTable
 	stats Stats
 	// opCount is the watchdog counter for the current execution.
 	opCount int
+	// sched is the pooled controlled-scheduler state, reused across every
+	// execution of the scenario (pre-crash + recovery runs).
+	sched schedState
+	// addrScratch/choiceScratch are buildImage's reusable buffers: the
+	// stored-address walk and the per-line persist-point choices.
+	addrScratch   []pmm.Addr
+	choiceScratch []vclock.Seq
 
 	// capture, when set, receives a snapshot at every flush/fence point of
 	// the execution it watches (checkpoint.go). The planner sets it on probe
@@ -146,7 +214,6 @@ func newScenario(makeProg func() pmm.Program, opts Options, p plan, persist Pers
 		persist:     persist,
 		crashPlan:   p,
 		crashPoints: make(map[int]int),
-		image:       make(map[pmm.Addr]imageEntry),
 		setupAllocs: heap.AllocCount(),
 		setupNext:   heap.NextFree(),
 	}
@@ -154,7 +221,7 @@ func newScenario(makeProg func() pmm.Program, opts Options, p plan, persist Pers
 		sc.recorder = trace.NewRecorder(det, heap.LabelFor)
 	}
 	for _, w := range heap.InitWrites() {
-		sc.image[w.Addr] = imageEntry{val: w.Val, size: w.Size, prevVal: w.Val}
+		sc.image.set(w.Addr, imageEntry{val: w.Val, size: w.Size, prevVal: w.Val})
 	}
 	return sc
 }
@@ -222,15 +289,113 @@ func (sc *scenario) startMachine() {
 		listener = sc.recorder
 	}
 	sc.machine = tso.NewMachine(listener)
-	for addr, e := range sc.image {
+	sc.image.forEach(func(addr pmm.Addr, e *imageEntry) {
 		sc.machine.SeedMemory(addr, e.size, e.val)
-	}
+	})
 }
 
 // threadEvent is a thread → scheduler notification.
 type threadEvent struct {
 	tid  int
 	done bool
+}
+
+// schedState is the controlled scheduler's pooled bookkeeping, owned by the
+// scenario and reused across all of its executions (pre-crash + every
+// recovery run): the event channel, the per-thread slots (ops, Thread
+// wrapper, resume channel) and the scratch ready-set. Only the goroutine
+// currently holding the grant (or the scheduler, while every thread is
+// blocked) touches this state, and every ownership transfer rides a channel
+// operation, so access is race-free by the handoff discipline.
+type schedState struct {
+	// events is the thread → scheduler channel. At most one event is ever
+	// in flight (one thread runs at a time), so capacity 1 suffices.
+	events   chan threadEvent
+	ops      []*threadOps
+	threads  []*pmm.Thread
+	waiting  []bool
+	finished []bool
+	panics   []any
+	// ready is the per-step scratch ready-set (reused, never reallocated
+	// once grown).
+	ready []int
+	// n is the current execution's thread count (slices may be longer from
+	// an earlier, wider execution or a mid-execution spawn).
+	n    int
+	live int
+	// leased marks an active solo-thread direct-run lease: the granted
+	// thread's sync() proceeds inline, with no handoff, until the lease is
+	// revoked (a spawn makes a second thread runnable) or the thread ends.
+	leased bool
+}
+
+// begin readies the pooled state for an execution of n threads.
+func (s *schedState) begin(n int) {
+	if s.events == nil {
+		s.events = make(chan threadEvent, 1)
+	}
+	s.grow(n)
+	s.n = n
+	s.leased = false
+}
+
+// grow extends the per-thread slots to hold n threads.
+func (s *schedState) grow(n int) {
+	for len(s.ops) < n {
+		s.ops = append(s.ops, nil)
+		s.threads = append(s.threads, nil)
+		s.waiting = append(s.waiting, false)
+		s.finished = append(s.finished, false)
+		s.panics = append(s.panics, nil)
+	}
+}
+
+// startThread (re)initializes slot i and launches its goroutine, which
+// blocks until the first grant.
+func (sc *scenario) startThread(i int, fn func(*pmm.Thread)) {
+	s := &sc.sched
+	o := s.ops[i]
+	if o == nil {
+		o = &threadOps{sc: sc, tid: vclock.TID(i), resume: make(chan struct{})}
+		s.ops[i] = o
+		s.threads[i] = pmm.NewThread(o, sc.heap)
+	}
+	o.guarded = false
+	s.waiting[i], s.finished[i], s.panics[i] = true, false, nil
+	th := s.threads[i]
+	go func() {
+		defer func() {
+			// Workload panics propagate to the scheduler goroutine (so
+			// callers can recover them); the crash sentinel unwinds
+			// silently.
+			if r := recover(); r != nil && r != errCrash {
+				s.panics[i] = r
+			}
+			s.events <- threadEvent{tid: i, done: true}
+		}()
+		<-o.resume // wait for the first grant
+		if sc.crashed {
+			panic(errCrash)
+		}
+		fn(th)
+	}()
+}
+
+// spawnThread registers fn as a new simulated thread (Thread.Go). It runs on
+// the granting thread's goroutine — the only one executing — while the
+// scheduler is blocked on the event channel; the scheduler observes the new
+// thread at its next scheduling step. Any direct-run lease is revoked: with
+// two runnable threads the scheduler has real decisions to make again.
+func (sc *scenario) spawnThread(fn func(*pmm.Thread)) {
+	s := &sc.sched
+	i := s.n
+	s.n++
+	s.grow(s.n)
+	sc.machine.SpawnThreads(s.n)
+	sc.startThread(i, fn)
+	s.live++
+	sc.liveThreads = s.live
+	s.leased = false
 }
 
 // runExecution runs the given thread functions under the controlled
@@ -245,59 +410,43 @@ func (sc *scenario) runExecution(fns []func(*pmm.Thread)) bool {
 	// Declare the dense TID range up front: threads are numbered 0..n-1, and
 	// the machine's slice-backed state panics on any TID outside it.
 	sc.machine.SpawnThreads(n)
-	events := make(chan threadEvent, n)
-	resumes := make([]chan struct{}, n)
-	waiting := make([]bool, n)
-	finished := make([]bool, n)
-	panics := make([]interface{}, n)
+	s := &sc.sched
+	s.begin(n)
 	for i := range fns {
-		resumes[i] = make(chan struct{})
-		waiting[i] = true
-		i := i
-		ops := &threadOps{sc: sc, tid: vclock.TID(i), resume: resumes[i], events: events}
-		th := pmm.NewThread(ops, sc.heap)
-		go func() {
-			defer func() {
-				// Workload panics propagate to the scheduler goroutine (so
-				// callers can recover them); the crash sentinel unwinds
-				// silently.
-				if r := recover(); r != nil && r != errCrash {
-					panics[i] = r
-				}
-				events <- threadEvent{tid: i, done: true}
-			}()
-			<-resumes[i] // wait for the first grant
-			if sc.crashed {
-				panic(errCrash)
-			}
-			fns[i](th)
-		}()
+		sc.startThread(i, fns[i])
 	}
-	live := n
-	sc.liveThreads = live
-	for live > 0 {
+	s.live = n
+	sc.liveThreads = n
+	for s.live > 0 {
 		// Pick a waiting, unfinished thread. Deterministic given the seed.
-		var ready []int
-		for i := 0; i < n; i++ {
-			if waiting[i] && !finished[i] {
-				ready = append(ready, i)
+		s.ready = s.ready[:0]
+		for i := 0; i < s.n; i++ {
+			if s.waiting[i] && !s.finished[i] {
+				s.ready = append(s.ready, i)
 			}
 		}
-		if len(ready) == 0 {
+		if len(s.ready) == 0 {
 			panic("engine: scheduler deadlock (no runnable simulated thread)")
 		}
-		pick := ready[0]
-		if len(ready) > 1 {
-			pick = ready[sc.rng.Intn(len(ready))]
+		pick := s.ready[0]
+		if len(s.ready) > 1 {
+			pick = s.ready[sc.rng.Intn(len(s.ready))]
+		} else if sc.opts.DirectRun == DirectRunOn {
+			// Solo-run fast path: exactly one runnable thread means the
+			// scheduler has no decision to make (and, crucially, no rng
+			// draw), so grant a direct-run lease — the thread's sync()
+			// proceeds inline with no handoff until the lease ends.
+			s.leased = true
 		}
-		waiting[pick] = false
-		resumes[pick] <- struct{}{}
-		ev := <-events
+		s.waiting[pick] = false
+		s.ops[pick].resume <- struct{}{}
+		ev := <-s.events
+		s.leased = false
 		if ev.done {
-			finished[ev.tid] = true
-			live--
-			sc.liveThreads = live
-			if p := panics[ev.tid]; p != nil {
+			s.finished[ev.tid] = true
+			s.live--
+			sc.liveThreads = s.live
+			if p := s.panics[ev.tid]; p != nil {
 				panic(p) // re-raise the workload panic in the caller
 			}
 			if !sc.crashed {
@@ -307,7 +456,7 @@ func (sc *scenario) runExecution(fns []func(*pmm.Thread)) bool {
 			}
 			continue
 		}
-		waiting[ev.tid] = true
+		s.waiting[ev.tid] = true
 	}
 	return sc.crashed
 }
@@ -343,96 +492,111 @@ func (sc *scenario) atCrashPoint() bool {
 // against.
 func (sc *scenario) buildImage() {
 	e := sc.det.Current()
-	addrs := e.StoredAddrs()
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-
-	byLine := make(map[pmm.Line][]pmm.Addr)
-	var lines []pmm.Line
-	for _, a := range addrs {
-		l := pmm.LineOf(a)
-		if _, ok := byLine[l]; !ok {
-			lines = append(lines, l)
+	// The stored-address walk ascends (the store table is address-indexed),
+	// so each cache line's addresses form one contiguous run and the lines
+	// come out sorted — no grouping maps, no sorting, and the scratch buffer
+	// keeps the walk allocation-free across executions.
+	sc.addrScratch = e.AppendStoredAddrs(sc.addrScratch[:0])
+	addrs := sc.addrScratch
+	for start := 0; start < len(addrs); {
+		line := pmm.LineOf(addrs[start])
+		end := start + 1
+		for end < len(addrs) && pmm.LineOf(addrs[end]) == line {
+			end++
 		}
-		byLine[l] = append(byLine[l], a)
+		sc.buildLineImage(e, line, addrs[start:end])
+		start = end
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+}
 
-	for _, line := range lines {
-		lineAddrs := byLine[line]
-		// Floor: the newest store on the line guaranteed persisted by an
-		// explicit flush. The flush wrote back the whole line, so the
-		// persist point cannot precede it.
-		var floor vclock.Seq
-		for _, a := range lineAddrs {
-			if lb := e.PersistLB(a); lb != nil && lb.Seq > floor {
-				floor = lb.Seq
-			}
+// sortSeqs sorts a short persist-point choice list ascending. Insertion sort:
+// the lists are a handful of elements, and sort.Slice would allocate its
+// closure and swapper on every line of every scenario.
+func sortSeqs(s []vclock.Seq) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
 		}
-		// Persist-point choices: the floor itself or any later store commit
-		// on the line.
-		choices := []vclock.Seq{floor}
-		for _, a := range lineAddrs {
-			for s := e.Latest(a); s != nil; s = e.ByRef(s.Prev()) {
-				if s.Seq > floor {
-					choices = append(choices, s.Seq)
-				}
-			}
-		}
-		sort.Slice(choices, func(i, j int) bool { return choices[i] < choices[j] })
-		if sc.lineChoices != nil && sc.execIdx == 0 {
-			sc.lineChoices[line] = append([]vclock.Seq(nil), choices...)
-		}
-		var point vclock.Seq
-		switch sc.persist {
-		case PersistLatest:
-			point = choices[len(choices)-1]
-		case PersistMinimal:
-			point = choices[0]
-		case PersistRandom:
-			point = choices[sc.rng.Intn(len(choices))]
-		}
-		if over, ok := sc.persistOverride[line]; ok {
-			point = over
-		}
+	}
+}
 
-		for _, a := range lineAddrs {
-			prev, hadPrev := sc.image[a]
-			entry := imageEntry{prevVal: prev.val, size: prev.size}
-			// Older candidates stay checkable: a load in a later execution
-			// could still observe a torn value from two crashes ago.
-			entry.candidates = append(entry.candidates, prev.candidates...)
-			var chosen *core.StoreRecord
-			// Walk the per-address chain newest-first (allocation-free), then
-			// reverse the freshly appended candidates back to commit order —
-			// CandidateLimit trims from the front, so order is observable.
-			start := len(entry.candidates)
-			for s := e.Latest(a); s != nil; s = e.ByRef(s.Prev()) {
-				if s.Seq > floor || s == e.PersistLB(a) {
-					entry.candidates = append(entry.candidates, provCand{exec: int32(e.ID), ref: s.Ref()})
-				}
-				if s.Seq <= point && chosen == nil {
-					chosen = s
-				}
-			}
-			for i, j := start, len(entry.candidates)-1; i < j; i, j = i+1, j-1 {
-				entry.candidates[i], entry.candidates[j] = entry.candidates[j], entry.candidates[i]
-			}
-			if chosen != nil {
-				entry.chosen = provCand{exec: int32(e.ID), ref: chosen.Ref()}
-				entry.val = chosen.Val
-				entry.size = chosen.Size
-			} else {
-				// Nothing new persisted; the previous image value survives
-				// along with its provenance.
-				entry.chosen = prev.chosen
-				entry.val = prev.val
-				entry.prevVal = prev.prevVal
-				if !hadPrev {
-					entry.size = 8
-				}
-			}
-			sc.image[a] = entry
+// buildLineImage derives the image for one cache line from its stored
+// addresses (ascending).
+func (sc *scenario) buildLineImage(e *core.Execution, line pmm.Line, lineAddrs []pmm.Addr) {
+	// Floor: the newest store on the line guaranteed persisted by an
+	// explicit flush. The flush wrote back the whole line, so the
+	// persist point cannot precede it.
+	var floor vclock.Seq
+	for _, a := range lineAddrs {
+		if lb := e.PersistLB(a); lb != nil && lb.Seq > floor {
+			floor = lb.Seq
 		}
+	}
+	// Persist-point choices: the floor itself or any later store commit
+	// on the line.
+	choices := append(sc.choiceScratch[:0], floor)
+	for _, a := range lineAddrs {
+		for s := e.Latest(a); s != nil; s = e.ByRef(s.Prev()) {
+			if s.Seq > floor {
+				choices = append(choices, s.Seq)
+			}
+		}
+	}
+	sortSeqs(choices)
+	sc.choiceScratch = choices
+	if sc.lineChoices != nil && sc.execIdx == 0 {
+		sc.lineChoices[line] = append([]vclock.Seq(nil), choices...)
+	}
+	var point vclock.Seq
+	switch sc.persist {
+	case PersistLatest:
+		point = choices[len(choices)-1]
+	case PersistMinimal:
+		point = choices[0]
+	case PersistRandom:
+		point = choices[sc.rng.Intn(len(choices))]
+	}
+	if over, ok := sc.persistOverride[line]; ok {
+		point = over
+	}
+
+	for _, a := range lineAddrs {
+		prev, hadPrev := sc.image.at(a)
+		entry := imageEntry{prevVal: prev.val, size: prev.size}
+		// Older candidates stay checkable: a load in a later execution
+		// could still observe a torn value from two crashes ago.
+		entry.candidates = append(entry.candidates, prev.candidates...)
+		var chosen *core.StoreRecord
+		// Walk the per-address chain newest-first (allocation-free), then
+		// reverse the freshly appended candidates back to commit order —
+		// CandidateLimit trims from the front, so order is observable.
+		start := len(entry.candidates)
+		for s := e.Latest(a); s != nil; s = e.ByRef(s.Prev()) {
+			if s.Seq > floor || s == e.PersistLB(a) {
+				entry.candidates = append(entry.candidates, provCand{exec: int32(e.ID), ref: s.Ref()})
+			}
+			if s.Seq <= point && chosen == nil {
+				chosen = s
+			}
+		}
+		for i, j := start, len(entry.candidates)-1; i < j; i, j = i+1, j-1 {
+			entry.candidates[i], entry.candidates[j] = entry.candidates[j], entry.candidates[i]
+		}
+		if chosen != nil {
+			entry.chosen = provCand{exec: int32(e.ID), ref: chosen.Ref()}
+			entry.val = chosen.Val
+			entry.size = chosen.Size
+		} else {
+			// Nothing new persisted; the previous image value survives
+			// along with its provenance.
+			entry.chosen = prev.chosen
+			entry.val = prev.val
+			entry.prevVal = prev.prevVal
+			if !hadPrev {
+				entry.size = 8
+			}
+		}
+		sc.image.set(a, entry)
 	}
 }
 
@@ -440,8 +604,8 @@ func (sc *scenario) buildImage() {
 // persisted image: it race-checks every candidate store and commits the
 // observation of the chosen one. Returns the value the load sees.
 func (sc *scenario) resolvePostCrashLoad(tid vclock.TID, addr pmm.Addr, size int, atomicLoad, guarded bool) uint64 {
-	entry, ok := sc.image[addr]
-	if !ok {
+	entry := sc.image.lookup(addr)
+	if entry == nil {
 		return 0
 	}
 	chosenStore := sc.storeOf(entry.chosen)
@@ -494,32 +658,54 @@ func truncVal(v uint64, size int) uint64 {
 
 // threadOps implements pmm.Ops for one simulated thread: every operation
 // synchronizes with the scheduler, performs the TSO action, and applies the
-// store-buffer eviction policy.
+// store-buffer eviction policy. Slots are pooled per scenario (schedState)
+// and reused across executions.
 type threadOps struct {
 	sc      *scenario
 	tid     vclock.TID
 	resume  chan struct{}
-	events  chan threadEvent
 	guarded bool
 }
 
-var _ pmm.Ops = (*threadOps)(nil)
+var (
+	_ pmm.Ops     = (*threadOps)(nil)
+	_ pmm.Spawner = (*threadOps)(nil)
+)
 
 func (t *threadOps) TID() int { return int(t.tid) }
 
 // sync yields to the scheduler and blocks until granted. At a crash the
-// grant returns with sc.crashed set and the thread unwinds.
+// grant returns with sc.crashed set and the thread unwinds. Under a
+// direct-run lease the thread already holds the grant and no other thread is
+// runnable, so sync proceeds inline — no handoff, no goroutine switch (a
+// crash mid-lease can only originate from this thread, via crashNow, which
+// unwinds directly).
 func (t *threadOps) sync() {
-	t.events <- threadEvent{tid: int(t.tid)}
-	<-t.resume
-	if t.sc.crashed {
-		panic(errCrash)
+	sc := t.sc
+	if sc.sched.leased {
+		sc.stats.DirectOps++
+	} else {
+		sc.sched.events <- threadEvent{tid: int(t.tid)}
+		<-t.resume
+		if sc.crashed {
+			panic(errCrash)
+		}
+		sc.stats.Handoffs++
 	}
-	t.sc.opCount++
-	t.sc.stats.SimulatedOps++
-	if max := t.sc.opts.MaxOps; max > 0 && t.sc.opCount > max {
+	sc.opCount++
+	sc.stats.SimulatedOps++
+	if max := sc.opts.MaxOps; max > 0 && sc.opCount > max {
 		panic(fmt.Sprintf("engine: execution exceeded %d operations (runaway workload?)", max))
 	}
+}
+
+// Spawn implements pmm.Spawner: a scheduling point, then the new thread is
+// registered — runnable from the caller's next operation. Registration
+// happens after sync so the spawned thread cannot be scheduled before the
+// spawn point itself is granted.
+func (t *threadOps) Spawn(fn func(*pmm.Thread)) {
+	t.sync()
+	t.sc.spawnThread(fn)
 }
 
 // afterOp applies the eviction policy: ModelCheck drains eagerly (one

@@ -41,6 +41,16 @@ type Ops interface {
 	SetChecksumGuard(on bool)
 }
 
+// Spawner is the optional Ops capability for mid-execution thread creation.
+// Engines that control scheduling implement it so a workload thread can start
+// a sibling simulated thread (Thread.Go); Ops implementations without it
+// simply cannot run spawning workloads.
+type Spawner interface {
+	// Spawn registers fn as a new simulated thread, runnable from the next
+	// scheduling point.
+	Spawn(fn func(*Thread))
+}
+
 // Thread is the handle a workload function receives. It wraps Ops with
 // sized convenience methods and composite memset/memcpy operations
 // (decomposed into field-granular non-atomic stores, modelling the libc
@@ -186,6 +196,19 @@ func (t *Thread) Memcpy(dst, src Addr, size int) {
 
 // Yield introduces a pure scheduling point.
 func (t *Thread) Yield() { t.ops.Yield() }
+
+// Go starts fn as a new simulated thread under the engine's controlled
+// scheduler (pthread_create in the paper's workloads). The new thread is
+// runnable from the next scheduling point; it must finish before the
+// execution ends. Panics if the Ops implementation does not support
+// mid-execution spawning.
+func (t *Thread) Go(fn func(*Thread)) {
+	s, ok := t.ops.(Spawner)
+	if !ok {
+		panic("pmm: this Ops implementation does not support Thread.Go")
+	}
+	s.Spawn(fn)
+}
 
 // ChecksumGuard runs f with subsequent loads marked as checksum-validation
 // reads; races they observe are recorded as benign (§7.5).

@@ -36,6 +36,11 @@ var Workers int
 // way (see engine.Options.Checkpoint).
 var Checkpoint engine.CheckpointMode
 
+// DirectRun is the solo-thread direct-run lease mode every table run uses
+// (default on). cmd/yashme-tables sets it from -directrun; results are
+// identical either way (see engine.Options.DirectRun).
+var DirectRun engine.DirectRunMode
+
 // Spec describes one benchmark program and how the paper evaluated it.
 type Spec struct {
 	// Name is the benchmark name as it appears in the paper's tables.
@@ -119,7 +124,7 @@ func Table3() []RaceRow {
 	var rows []RaceRow
 	idx := 1
 	for _, spec := range IndexSpecs() {
-		res := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: Workers, Checkpoint: Checkpoint})
+		res := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
 		for _, f := range res.Report.Fields() {
 			rows = append(rows, RaceRow{Index: idx, Benchmark: spec.Name, Field: f})
 			idx++
@@ -134,7 +139,7 @@ func Table3() []RaceRow {
 func Table4() []RaceRow {
 	set := report.NewSet()
 	run := func(mk func() pmm.Program) {
-		res := engine.Run(mk, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: 1, Executions: 40, Workers: Workers, Checkpoint: Checkpoint})
+		res := engine.Run(mk, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: 1, Executions: 40, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
 		set.Merge(res.Report)
 	}
 	run(pmdk.NewPMDKProg(3, nil))
@@ -181,15 +186,15 @@ func Table5() []Table5Row {
 		row := Table5Row{Benchmark: spec.Name, PaperPrefix: spec.PaperPrefix, PaperBaseline: spec.PaperBaseline}
 
 		start := time.Now()
-		p := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, Workers: Workers, Checkpoint: Checkpoint})
+		p := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
 		row.YashmeTime = time.Since(start)
 		row.Prefix = p.Report.Count()
 
-		b := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: false, Seed: spec.Table5Seed, Executions: 1, Workers: Workers, Checkpoint: Checkpoint})
+		b := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: false, Seed: spec.Table5Seed, Executions: 1, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
 		row.Baseline = b.Report.Count()
 
 		start = time.Now()
-		engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, DetectorOff: true, Workers: Workers, Checkpoint: Checkpoint})
+		engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, DetectorOff: true, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
 		row.JaaruTime = time.Since(start)
 
 		rows = append(rows, row)
@@ -223,7 +228,7 @@ func Table5Text(rows []Table5Row) string {
 func BenignRaces() []report.Race {
 	set := report.NewSet()
 	run := func(mk func() pmm.Program, cap int) {
-		res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: cap, Workers: Workers, Checkpoint: Checkpoint})
+		res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: cap, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
 		set.Merge(res.Report)
 	}
 	run(pmdk.NewPMDKProg(3, nil), 60)
@@ -323,8 +328,8 @@ func BugIndexText() string {
 // points (any consistent prefix works); the baseline needs the crash inside
 // a store→flush window.
 func WindowText(spec Spec) string {
-	p := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: Workers, Checkpoint: Checkpoint})
-	b := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: false, Workers: Workers, Checkpoint: Checkpoint})
+	p := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
+	b := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: false, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s: races revealed per crash point (0 = crash at completion)\n", spec.Name)
 	fmt.Fprintf(&sb, "%-7s %-8s %s\n", "point", "prefix", "baseline")
