@@ -18,9 +18,21 @@ import (
 	"yashme/internal/compiler"
 	"yashme/internal/engine"
 	"yashme/internal/progs/cceh"
-	"yashme/internal/tables"
+	"yashme/internal/suite"
+	"yashme/internal/workload"
 	"yashme/internal/xfd"
 )
+
+// mustSpec fetches a registered workload by name (the suite import links
+// every benchmark's registration into the test binary).
+func mustSpec(tb testing.TB, name string) workload.Spec {
+	tb.Helper()
+	s, ok := workload.Lookup(name)
+	if !ok {
+		tb.Fatalf("workload %q not registered", name)
+	}
+	return s
+}
 
 // figure1 is the paper's Figure 1 program (E1).
 func figure1() yashme.Program {
@@ -70,12 +82,17 @@ func BenchmarkTable2b(b *testing.B) {
 	b.ReportMetric(float64(rows), "rows")
 }
 
-// BenchmarkTable3 (E4): model-check the six PM indexes; 19 races.
+// BenchmarkTable3 (E4): model-check the six PM indexes through the suite
+// runner; 19 races.
 func BenchmarkTable3(b *testing.B) {
 	b.ReportAllocs()
 	races := 0
 	for i := 0; i < b.N; i++ {
-		races = len(tables.Table3())
+		res := suite.Run(suite.Config{
+			Tags:     []string{workload.TagTable3},
+			Variants: []string{suite.VariantRaces},
+		})
+		races = res.TotalRaces(suite.RunRaces)
 	}
 	b.ReportMetric(float64(races), "races")
 }
@@ -92,7 +109,7 @@ func BenchmarkTable3Parallel(b *testing.B) {
 			races := 0
 			for i := 0; i < b.N; i++ {
 				races = 0
-				for _, spec := range tables.IndexSpecs() {
+				for _, spec := range workload.Tagged(workload.TagIndex) {
 					res := engine.Run(spec.Make, engine.Options{
 						Mode: engine.ModelCheck, Prefix: true, Workers: workers})
 					races += res.Report.Count()
@@ -103,25 +120,34 @@ func BenchmarkTable3Parallel(b *testing.B) {
 	}
 }
 
-// BenchmarkTable3Checkpoint (E18/E20): the Table 3 model-checking sweep
-// across the engine's two fast paths — checkpointed pre-crash execution
-// (on/off) and the solo-thread direct-run lease (default / "-nodirect").
-// Race counts are identical in all four modes (the equivalence contracts);
-// the simops metric is the checkpoint layer's win (snapshots remove the
-// O(C·n) pre-crash re-simulation) and the handoffs/direct_ops split is the
-// lease's win (leased operations skip the two-channel scheduler handshake).
-// The parent benchmark writes the BENCH_table3.json artifact so the perf
-// trajectory is tracked across changes; cmd/benchguard compares a fresh run
-// against the committed artifact in CI.
-func BenchmarkTable3Checkpoint(b *testing.B) {
+// BenchmarkSuiteTable3 (E18/E20/E21): the Table 3 model-checking sweep,
+// run through the concurrent suite layer, across the engine's two fast
+// paths — checkpointed pre-crash execution (on/off) and the solo-thread
+// direct-run lease (default / "-nodirect"). Race counts are identical in
+// all four modes (the equivalence contracts); the simops metric is the
+// checkpoint layer's win (snapshots remove the O(C·n) pre-crash
+// re-simulation) and the handoffs/direct_ops split is the lease's win
+// (leased operations skip the two-channel scheduler handshake). The parent
+// benchmark writes the unified BENCH_suite.json artifact — aggregate plus
+// per-benchmark breakdown per mode — so the perf trajectory is tracked
+// across changes; cmd/benchguard compares a fresh run against the
+// committed artifact in CI.
+func BenchmarkSuiteTable3(b *testing.B) {
+	type benchStat struct {
+		Races        int   `json:"races"`
+		SimulatedOps int64 `json:"simulated_ops"`
+		Handoffs     int64 `json:"handoffs"`
+		DirectOps    int64 `json:"direct_ops"`
+	}
 	type measurement struct {
-		NsPerOp      int64   `json:"ns_per_op"`
-		SimulatedOps int64   `json:"simulated_ops"`
-		Handoffs     int64   `json:"handoffs"`
-		DirectOps    int64   `json:"direct_ops"`
-		Races        float64 `json:"races"`
-		AllocsPerOp  uint64  `json:"allocs_per_op"`
-		BytesPerOp   uint64  `json:"bytes_per_op"`
+		NsPerOp      int64                 `json:"ns_per_op"`
+		SimulatedOps int64                 `json:"simulated_ops"`
+		Handoffs     int64                 `json:"handoffs"`
+		DirectOps    int64                 `json:"direct_ops"`
+		Races        float64               `json:"races"`
+		AllocsPerOp  uint64                `json:"allocs_per_op"`
+		BytesPerOp   uint64                `json:"bytes_per_op"`
+		Benchmarks   map[string]*benchStat `json:"benchmarks"`
 	}
 	results := map[string]*measurement{}
 	for _, mode := range []struct {
@@ -135,40 +161,49 @@ func BenchmarkTable3Checkpoint(b *testing.B) {
 		{"off-nodirect", engine.CheckpointOff, engine.DirectRunOff},
 	} {
 		mode := mode
-		m := &measurement{}
+		m := &measurement{Benchmarks: map[string]*benchStat{}}
 		results[mode.name] = m
 		b.Run("checkpoint-"+mode.name, func(b *testing.B) {
 			b.ReportAllocs()
-			races := 0
-			var simOps, handoffs, directOps int64
+			var res *suite.Result
 			// The testing package's alloc counters aren't readable from inside
 			// the benchmark, so mirror them with ReadMemStats deltas for the
 			// JSON artifact. Counts match -benchmem up to GC bookkeeping noise.
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
 			for i := 0; i < b.N; i++ {
-				races, simOps, handoffs, directOps = 0, 0, 0, 0
-				for _, spec := range tables.IndexSpecs() {
-					res := engine.Run(spec.Make, engine.Options{
-						Mode: engine.ModelCheck, Prefix: true,
-						Checkpoint: mode.ck, DirectRun: mode.direct})
-					races += res.Report.Count()
-					simOps += res.Stats.SimulatedOps
-					handoffs += res.Stats.Handoffs
-					directOps += res.Stats.DirectOps
-				}
+				res = suite.Run(suite.Config{
+					Tags:       []string{workload.TagTable3},
+					Variants:   []string{suite.VariantRaces},
+					Checkpoint: mode.ck,
+					DirectRun:  mode.direct,
+				})
 			}
 			runtime.ReadMemStats(&after)
+			stats := res.TotalStats()
+			races := res.TotalRaces(suite.RunRaces)
 			b.ReportMetric(float64(races), "races")
-			b.ReportMetric(float64(simOps), "simops")
-			b.ReportMetric(float64(handoffs), "handoffs")
+			b.ReportMetric(float64(stats.SimulatedOps), "simops")
+			b.ReportMetric(float64(stats.Handoffs), "handoffs")
 			m.NsPerOp = b.Elapsed().Nanoseconds() / int64(b.N)
-			m.SimulatedOps = simOps
-			m.Handoffs = handoffs
-			m.DirectOps = directOps
+			m.SimulatedOps = stats.SimulatedOps
+			m.Handoffs = stats.Handoffs
+			m.DirectOps = stats.DirectOps
 			m.Races = float64(races)
 			m.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(b.N)
 			m.BytesPerOp = (after.TotalAlloc - before.TotalAlloc) / uint64(b.N)
+			for _, bench := range res.Benchmarks {
+				run := bench.Run(suite.RunRaces)
+				if run == nil {
+					continue
+				}
+				m.Benchmarks[bench.Name] = &benchStat{
+					Races:        run.RaceCount,
+					SimulatedOps: run.Stats.SimulatedOps,
+					Handoffs:     run.Stats.Handoffs,
+					DirectOps:    run.Stats.DirectOps,
+				}
+			}
 		})
 	}
 	artifact := struct {
@@ -176,7 +211,7 @@ func BenchmarkTable3Checkpoint(b *testing.B) {
 		Benchmark  string                  `json:"benchmark"`
 		Modes      map[string]*measurement `json:"modes"`
 		SimOpsWin  float64                 `json:"simops_ratio_off_over_on"`
-	}{Experiment: "E18", Benchmark: "Table3", Modes: results}
+	}{Experiment: "E18", Benchmark: "suite-table3", Modes: results}
 	if on := results["on"].SimulatedOps; on > 0 {
 		artifact.SimOpsWin = float64(results["off"].SimulatedOps) / float64(on)
 	}
@@ -184,8 +219,8 @@ func BenchmarkTable3Checkpoint(b *testing.B) {
 	if err != nil {
 		b.Fatalf("marshal artifact: %v", err)
 	}
-	if err := os.WriteFile("BENCH_table3.json", append(data, '\n'), 0o644); err != nil {
-		b.Fatalf("write BENCH_table3.json: %v", err)
+	if err := os.WriteFile("BENCH_suite.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_suite.json: %v", err)
 	}
 }
 
@@ -290,13 +325,17 @@ func BenchmarkSoloRecovery(b *testing.B) {
 	}
 }
 
-// BenchmarkTable4 (E5): random-mode sweep of PMDK, Memcached, Redis;
-// 5 races.
+// BenchmarkTable4 (E5): random-mode sweep of PMDK, Memcached, Redis
+// through the suite runner; 5 races.
 func BenchmarkTable4(b *testing.B) {
 	b.ReportAllocs()
 	races := 0
 	for i := 0; i < b.N; i++ {
-		races = len(tables.Table4())
+		res := suite.Run(suite.Config{
+			Tags:     []string{workload.TagTable4},
+			Variants: []string{suite.VariantRaces},
+		})
+		races = res.TotalRaces(suite.RunRaces)
 	}
 	b.ReportMetric(float64(races), "races")
 }
@@ -306,7 +345,7 @@ func BenchmarkTable4(b *testing.B) {
 // counts are the paper's Table 5 columns; the Jaaru variant is the
 // detector-off infrastructure time.
 func BenchmarkTable5(b *testing.B) {
-	for _, spec := range tables.AllSpecs() {
+	for _, spec := range workload.Tagged(workload.TagTable5) {
 		spec := spec
 		b.Run(spec.Name+"/yashme-prefix", func(b *testing.B) {
 			b.ReportAllocs()
@@ -344,7 +383,16 @@ func BenchmarkBenign(b *testing.B) {
 	b.ReportAllocs()
 	races := 0
 	for i := 0; i < b.N; i++ {
-		races = len(tables.BenignRaces())
+		res := suite.Run(suite.Config{
+			Tags:     []string{workload.TagBenign},
+			Variants: []string{suite.VariantBenign},
+		})
+		races = 0
+		for _, bench := range res.Benchmarks {
+			if run := bench.Run(suite.RunBenign); run != nil {
+				races += len(run.Benign)
+			}
+		}
 	}
 	b.ReportMetric(float64(races), "benign-races")
 }
@@ -393,7 +441,7 @@ func BenchmarkAblationPrefix(b *testing.B) {
 			total := 0
 			for i := 0; i < b.N; i++ {
 				total = 0
-				for _, spec := range tables.AllSpecs() {
+				for _, spec := range workload.Tagged(workload.TagTable5) {
 					res := engine.Run(spec.Make, engine.Options{
 						Mode: engine.RandomMode, Prefix: prefix, Seed: spec.Table5Seed, Executions: 1})
 					total += res.Report.Count()
@@ -408,7 +456,7 @@ func BenchmarkAblationPrefix(b *testing.B) {
 // itself: the same CCEH model-checking run with the detector on vs off
 // (the Yashme-vs-Jaaru columns of Table 5, as a controlled pair).
 func BenchmarkAblationDetectorOverhead(b *testing.B) {
-	spec := tables.IndexSpecs()[0] // CCEH
+	spec := mustSpec(b, "CCEH")
 	for _, off := range []bool{false, true} {
 		name := "detector-on"
 		if off {
@@ -427,7 +475,7 @@ func BenchmarkAblationDetectorOverhead(b *testing.B) {
 // BenchmarkAblationPersistPolicy measures how the persisted-image policy
 // affects exploration cost and detection on FAST_FAIR.
 func BenchmarkAblationPersistPolicy(b *testing.B) {
-	spec := tables.IndexSpecs()[1] // Fast_Fair
+	spec := mustSpec(b, "Fast_Fair")
 	policies := map[string][]engine.PersistPolicy{
 		"latest":         {engine.PersistLatest},
 		"minimal":        {engine.PersistMinimal},
@@ -451,7 +499,7 @@ func BenchmarkAblationPersistPolicy(b *testing.B) {
 // BenchmarkAblationModeComparison compares model checking against random
 // exploration budgets on the same program (P-Masstree).
 func BenchmarkAblationModeComparison(b *testing.B) {
-	spec := tables.IndexSpecs()[5] // P-Masstree
+	spec := mustSpec(b, "P-Masstree")
 	b.Run("model-check", func(b *testing.B) {
 		b.ReportAllocs()
 		races := 0
@@ -494,7 +542,7 @@ func itoa(n int) string {
 // of exploring second crashes inside the recovery procedure.
 func BenchmarkRecoveryCrashes(b *testing.B) {
 	b.ReportAllocs()
-	spec := tables.FrameworkSpecs()[4] // hashmap-tx
+	spec := mustSpec(b, "hashmap-tx")
 	for i := 0; i < b.N; i++ {
 		engine.Run(spec.Make, engine.Options{
 			Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: 10, RecoveryCrashes: 3})
@@ -538,7 +586,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // BenchmarkAblationReadExploration measures the cost and yield of
 // Jaaru-style read-choice exploration on CCEH.
 func BenchmarkAblationReadExploration(b *testing.B) {
-	spec := tables.IndexSpecs()[0] // CCEH
+	spec := mustSpec(b, "CCEH")
 	for _, explore := range []bool{false, true} {
 		name := "policies-only"
 		if explore {
@@ -564,7 +612,7 @@ func BenchmarkAblationReadExploration(b *testing.B) {
 // per load against only the newest ones (the design choice DESIGN.md calls
 // out), on Fast_Fair.
 func BenchmarkAblationCandidateWidth(b *testing.B) {
-	spec := tables.IndexSpecs()[1] // Fast_Fair
+	spec := mustSpec(b, "Fast_Fair")
 	for _, limit := range []int{0, 1, 2} {
 		name := "all"
 		if limit > 0 {

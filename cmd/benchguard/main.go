@@ -1,15 +1,17 @@
-// Command benchguard is the CI perf canary for the Table 3 sweep: it
-// compares a freshly generated BENCH_table3.json against the committed
+// Command benchguard is the CI perf canary for the suite's Table 3 sweep:
+// it compares a freshly generated BENCH_suite.json against the committed
 // baseline and exits non-zero if correctness or performance regressed.
 //
-//	go test -run xxx -bench BenchmarkTable3Checkpoint .
-//	go run ./cmd/benchguard -baseline <committed>.json -fresh BENCH_table3.json
+//	go test -run xxx -bench BenchmarkSuiteTable3 .
+//	go run ./cmd/benchguard -baseline <committed>.json -fresh BENCH_suite.json
 //
 // Two checks:
 //
 //   - every mode of the fresh artifact must report exactly 19 races — the
 //     paper's Table 3 row count. A drift in either direction means a
-//     detector or equivalence bug, not noise;
+//     detector or equivalence bug, not noise. The per-benchmark breakdown
+//     the suite layer emits is printed alongside so a drift names its
+//     benchmark immediately;
 //   - for every mode present in both artifacts, fresh ns_per_op must not
 //     exceed the baseline by more than -tolerance (default 25%). CI runners
 //     are noisy, so the bar is deliberately loose; a real regression from a
@@ -22,17 +24,27 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
-// measurement mirrors the per-mode object of BENCH_table3.json (written by
-// BenchmarkTable3Checkpoint). Unknown fields are ignored so the guard
-// tolerates artifact growth.
+// benchStat mirrors the per-benchmark breakdown of a mode.
+type benchStat struct {
+	Races        int   `json:"races"`
+	SimulatedOps int64 `json:"simulated_ops"`
+	Handoffs     int64 `json:"handoffs"`
+	DirectOps    int64 `json:"direct_ops"`
+}
+
+// measurement mirrors the per-mode object of BENCH_suite.json (written by
+// BenchmarkSuiteTable3). Unknown fields are ignored so the guard tolerates
+// artifact growth.
 type measurement struct {
-	NsPerOp      int64   `json:"ns_per_op"`
-	SimulatedOps int64   `json:"simulated_ops"`
-	Handoffs     int64   `json:"handoffs"`
-	DirectOps    int64   `json:"direct_ops"`
-	Races        float64 `json:"races"`
+	NsPerOp      int64                 `json:"ns_per_op"`
+	SimulatedOps int64                 `json:"simulated_ops"`
+	Handoffs     int64                 `json:"handoffs"`
+	DirectOps    int64                 `json:"direct_ops"`
+	Races        float64               `json:"races"`
+	Benchmarks   map[string]*benchStat `json:"benchmarks"`
 }
 
 type artifact struct {
@@ -55,9 +67,26 @@ func load(path string) (*artifact, error) {
 	return &a, nil
 }
 
+// breakdown renders a mode's per-benchmark races as "CCEH:2 Fast_Fair:6 …".
+func breakdown(m *measurement) string {
+	if len(m.Benchmarks) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(m.Benchmarks))
+	for name := range m.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s:%d", name, m.Benchmarks[name].Races))
+	}
+	return strings.Join(parts, " ")
+}
+
 func run() error {
-	baselinePath := flag.String("baseline", "", "committed BENCH_table3.json to compare against")
-	freshPath := flag.String("fresh", "BENCH_table3.json", "freshly generated artifact")
+	baselinePath := flag.String("baseline", "", "committed BENCH_suite.json to compare against")
+	freshPath := flag.String("fresh", "BENCH_suite.json", "freshly generated artifact")
 	wantRaces := flag.Float64("races", 19, "exact race count every mode must report (Table 3)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns_per_op regression vs baseline")
 	flag.Parse()
@@ -82,6 +111,9 @@ func run() error {
 	var failures []string
 	for _, name := range names {
 		m := fresh.Modes[name]
+		if bd := breakdown(m); bd != "" {
+			fmt.Printf("mode %-14s races: %s\n", name, bd)
+		}
 		if m.Races != *wantRaces {
 			failures = append(failures, fmt.Sprintf(
 				"mode %q: races = %v, want exactly %v", name, m.Races, *wantRaces))

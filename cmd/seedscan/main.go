@@ -1,17 +1,21 @@
 // Command seedscan is a development helper: it scans scheduler seeds for
 // each Table 5 benchmark and prints the single-execution prefix/baseline
-// race counts per seed, used to pick the seeds recorded in internal/tables.
+// race counts per seed, used to pick the Table5Seed values recorded in the
+// workload registry.
 package main
 
 import (
 	"fmt"
 
 	"yashme/internal/engine"
-	"yashme/internal/tables"
+	"yashme/internal/workload"
+
+	// Link every built-in benchmark's registration.
+	_ "yashme/internal/workload/all"
 )
 
 func main() {
-	for _, spec := range tables.AllSpecs() {
+	for _, spec := range workload.Tagged(workload.TagTable5) {
 		fmt.Printf("%-15s (paper %d/%d): ", spec.Name, spec.PaperPrefix, spec.PaperBaseline)
 		for seed := int64(1); seed <= 20; seed++ {
 			p := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: seed, Executions: 1})

@@ -2,82 +2,106 @@
 // the live system: Table 2a/2b (compiler store-optimization study), Table 3
 // (RECIPE/CCEH/FAST_FAIR races), Table 4 (PMDK/Memcached/Redis races),
 // Table 5 (prefix vs. baseline on single executions plus Yashme-vs-Jaaru
-// runtimes) and the §7.5 benign-race inventory.
+// runtimes) and the §7.5 benign-race inventory. The detector runs happen
+// once, up front, through internal/suite — concurrently under a shared
+// worker budget — and every table is rendered from that one result.
 //
 // Usage:
 //
-//	yashme-tables              # everything
-//	yashme-tables -table 5     # one table: 2a, 2b, 3, 4, 5, benign
+//	yashme-tables                     # everything
+//	yashme-tables -table 5            # one table: 2a, 2b, 3, 4, 5, window, bugs, benign
+//	yashme-tables -json               # the unified suite result as JSON
+//	yashme-tables -json -shard 1/2    # one deterministic shard (CI matrix)
+//	yashme-tables -tags table3,pmdk   # restrict the suite by workload tags
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
-	"yashme/internal/engine"
+	"yashme/internal/cliutil"
+	"yashme/internal/suite"
 	"yashme/internal/tables"
+	"yashme/internal/workload"
 )
 
 // main delegates to run so deferred profile writers fire before exit.
 func main() { os.Exit(run()) }
 
+// tableSelection maps a -table value to the workload tags and variant
+// groups its rendering needs, so narrow invocations only run the engine
+// work they print.
+var tableSelection = map[string]struct {
+	tags     []string
+	variants []string
+}{
+	"2a":     {nil, []string{}},
+	"2b":     {nil, []string{}},
+	"3":      {[]string{workload.TagTable3}, []string{suite.VariantRaces}},
+	"4":      {[]string{workload.TagTable4}, []string{suite.VariantRaces}},
+	"5":      {[]string{workload.TagTable5}, []string{suite.VariantTable5}},
+	"window": {[]string{workload.TagWindow}, []string{suite.VariantRaces, suite.VariantWindow}},
+	"bugs":   {[]string{workload.TagTable3, workload.TagTable4}, []string{suite.VariantRaces}},
+	"benign": {[]string{workload.TagBenign}, []string{suite.VariantBenign}},
+	"all":    {nil, nil},
+}
+
 func run() int {
 	which := flag.String("table", "all", "table to print: 2a | 2b | 3 | 4 | 5 | window | bugs | benign | all")
 	format := flag.String("format", "text", "output format: text | markdown (2b, 3, 4 and 5 only)")
-	workers := flag.Int("workers", 0, "crash scenarios run concurrently (0 = GOMAXPROCS, 1 = sequential; results identical)")
-	checkpoint := flag.Bool("checkpoint", true, "model-check: resume crash scenarios from pre-crash snapshots (results identical; =false re-simulates every prefix)")
-	directrun := flag.Bool("directrun", true, "run a solo runnable thread inline without scheduler handoffs (results identical; =false pays the handshake on every op)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	seq := flag.Bool("seq", false, "run benchmarks sequentially (identical results; per-run timings don't overlap)")
+	shared := cliutil.Register()
 	flag.Parse()
 	md := *format == "markdown"
-	tables.Workers = *workers
-	if !*checkpoint {
-		tables.Checkpoint = engine.CheckpointOff
+
+	sel, ok := tableSelection[*which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "yashme-tables: unknown table %q\n", *which)
+		return 2
 	}
-	if !*directrun {
-		tables.DirectRun = engine.DirectRunOff
+	cfg, err := shared.SuiteConfig()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yashme-tables: %v\n", err)
+		return 2
+	}
+	cfg.Sequential = *seq
+	if cfg.Tags == nil {
+		cfg.Tags = sel.tags
+	}
+	cfg.Variants = sel.variants
+
+	stop, err := shared.StartProfiles("yashme-tables")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yashme-tables: %v\n", err)
+		return 2
+	}
+	defer stop()
+
+	// Tables 2a/2b are compiler-study renderings: their selection has a
+	// non-nil empty variant list, meaning no detector runs at all.
+	res := &suite.Result{}
+	if sel.variants == nil || len(sel.variants) > 0 {
+		res = suite.Run(cfg)
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+	if shared.JSON {
+		out, err := res.JSON()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "yashme-tables: %v\n", err)
 			return 2
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "yashme-tables: %v\n", err)
-			return 2
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "yashme-tables: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "yashme-tables: %v\n", err)
-			}
-		}()
+		os.Stdout.Write(out)
+		fmt.Println()
+		return 0
 	}
 
 	emit := func(name string) bool { return *which == "all" || *which == name }
-	printed := false
 
 	if emit("2a") {
 		fmt.Println("=== Table 2a: compiler store optimizations ===")
 		fmt.Print(tables.Table2aText())
 		fmt.Println()
-		printed = true
 	}
 	if emit("2b") {
 		fmt.Println("=== Table 2b: memory operations, source vs generated code (clang -O3, x86-64 model) ===")
@@ -87,58 +111,47 @@ func run() int {
 			fmt.Print(tables.Table2bText())
 		}
 		fmt.Println()
-		printed = true
 	}
 	if emit("3") {
 		fmt.Println("=== Table 3: races in CCEH, FAST_FAIR and RECIPE (model-checking mode) ===")
 		if md {
-			fmt.Print(tables.RaceRowsMarkdown(tables.Table3()))
+			fmt.Print(tables.RaceRowsMarkdown(tables.Table3(res)))
 		} else {
-			fmt.Print(tables.RaceRowsText(tables.Table3()))
+			fmt.Print(tables.RaceRowsText(tables.Table3(res)))
 		}
 		fmt.Println()
-		printed = true
 	}
 	if emit("4") {
 		fmt.Println("=== Table 4: races in PMDK, Redis and Memcached (random mode) ===")
 		if md {
-			fmt.Print(tables.RaceRowsMarkdown(tables.Table4()))
+			fmt.Print(tables.RaceRowsMarkdown(tables.Table4(res)))
 		} else {
-			fmt.Print(tables.RaceRowsText(tables.Table4()))
+			fmt.Print(tables.RaceRowsText(tables.Table4(res)))
 		}
 		fmt.Println()
-		printed = true
 	}
 	if emit("5") {
 		fmt.Println("=== Table 5: prefix vs baseline, single execution; Yashme vs Jaaru time ===")
 		if md {
-			fmt.Print(tables.Table5Markdown(tables.Table5()))
+			fmt.Print(tables.Table5Markdown(tables.Table5(res)))
 		} else {
-			fmt.Print(tables.Table5Text(tables.Table5()))
+			fmt.Print(tables.Table5Text(tables.Table5(res)))
 		}
 		fmt.Println()
-		printed = true
 	}
 	if emit("window") {
 		fmt.Println("=== E9: detection-window histogram (Figures 5b/6, quantified) ===")
-		fmt.Print(tables.WindowText(tables.IndexSpecs()[0])) // CCEH
+		fmt.Print(tables.WindowText(res, "CCEH"))
 		fmt.Println()
-		printed = true
 	}
 	if emit("bugs") {
 		fmt.Println("=== Artifact appendix (Figs. 11-12): bug index with implementation sites ===")
-		fmt.Print(tables.BugIndexText())
+		fmt.Print(tables.BugIndexText(res))
 		fmt.Println()
-		printed = true
 	}
 	if emit("benign") {
 		fmt.Println("=== §7.5: benign checksum-guarded races ===")
-		fmt.Print(tables.BenignText(tables.BenignRaces()))
-		printed = true
-	}
-	if !printed {
-		fmt.Fprintf(os.Stderr, "yashme-tables: unknown table %q\n", *which)
-		return 2
+		fmt.Print(tables.BenignText(tables.BenignRaces(res)))
 	}
 	return 0
 }

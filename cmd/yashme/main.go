@@ -12,20 +12,25 @@
 //	yashme -bench Redis -benign                  # include benign races
 //	yashme -bench CCEH -workers 1                # sequential (identical results)
 //	yashme -file prog.ym -witness                # check a script (internal/script format)
+//	yashme -tags table3 -json                    # suite mode: paper-mode sweep over a tag set
+//	yashme -tags table4 -shard 1/2 -json         # one deterministic shard of it
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
+	"yashme/internal/cliutil"
 	"yashme/internal/engine"
 	"yashme/internal/script"
-	"yashme/internal/tables"
+	"yashme/internal/suite"
+	"yashme/internal/workload"
+
+	// Link every built-in benchmark's registration.
+	_ "yashme/internal/workload/all"
 )
 
 // main delegates to run so deferred profile writers fire before exit.
@@ -48,44 +53,19 @@ func run() int {
 		suppress   = flag.String("suppress", "", "comma-separated field labels whose races are annotated away (§7.5)")
 		schedules  = flag.Int("schedules", 1, "model-check: number of distinct thread schedules to explore")
 		reads      = flag.Bool("explore-reads", false, "model-check: explore per-line persist-point read choices (Jaaru-style)")
-		workers    = flag.Int("workers", 0, "crash scenarios run concurrently (0 = GOMAXPROCS, 1 = sequential; results identical)")
-		checkpoint = flag.Bool("checkpoint", true, "model-check: resume crash scenarios from pre-crash snapshots (results identical; =false re-simulates every prefix)")
-		directrun  = flag.Bool("directrun", true, "run a solo runnable thread inline without scheduler handoffs (results identical; =false pays the handshake on every op)")
 		maxOps     = flag.Int("maxops", 0, "per-execution simulated-operation bound (0 = engine default)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	shared := cliutil.Register()
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
-			return 2
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
-			return 2
-		}
-		defer pprof.StopCPUProfile()
+	stop, err := shared.StartProfiles("yashme")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
+		return 2
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
-			}
-		}()
-	}
+	defer stop()
 
-	specs := tables.AllSpecs()
+	specs := workload.All()
 	if *file != "" {
 		src, err := os.ReadFile(*file)
 		if err != nil {
@@ -97,7 +77,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
 			return 2
 		}
-		specs = []tables.Spec{{Name: parsed.Name, Make: parsed.MakeProgram(), ModelCheck: true}}
+		specs = []workload.Spec{{Name: parsed.Name, Make: parsed.MakeProgram(), ModelCheck: true}}
 		*bench = parsed.Name
 	}
 	if *list {
@@ -107,11 +87,47 @@ func run() int {
 			if s.ModelCheck {
 				m = "model"
 			}
-			fmt.Printf("  %-15s (paper mode: %s)\n", s.Name, m)
+			fmt.Printf("  %-15s (paper mode: %s, tags: %s)\n", s.Name, m, strings.Join(s.Tags, ","))
 		}
 		return 0
 	}
-	var spec *tables.Spec
+
+	// Suite mode: -tags/-shard select a registered sweep instead of a
+	// single benchmark; the paper-mode race runs execute concurrently under
+	// the shared worker budget.
+	if *bench == "" && (shared.Tags != "" || shared.Shard != "" || shared.JSON) {
+		cfg, err := shared.SuiteConfig()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
+			return 2
+		}
+		cfg.Variants = []string{suite.VariantRaces}
+		res := suite.Run(cfg)
+		if shared.JSON {
+			out, err := res.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "yashme: %v\n", err)
+				return 2
+			}
+			os.Stdout.Write(out)
+			fmt.Println()
+		} else {
+			for _, b := range res.Benchmarks {
+				if run := b.Run(suite.RunRaces); run != nil {
+					fmt.Printf("%-15s %d races, %d executions, %s\n",
+						b.Name, run.RaceCount, run.Executions,
+						time.Duration(run.ElapsedNs).Round(time.Microsecond))
+				}
+			}
+			fmt.Printf("total: %d races\n", res.TotalRaces(suite.RunRaces))
+		}
+		if res.TotalRaces(suite.RunRaces) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	var spec *workload.Spec
 	for i := range specs {
 		if specs[i].Name == *bench {
 			spec = &specs[i]
@@ -133,15 +149,9 @@ func run() int {
 		EADR:           *eadr,
 		Schedules:      *schedules,
 		ExploreReads:   *reads,
-		Workers:        *workers,
 		MaxOps:         *maxOps,
 	}
-	if !*checkpoint {
-		opts.Checkpoint = engine.CheckpointOff
-	}
-	if !*directrun {
-		opts.DirectRun = engine.DirectRunOff
-	}
+	shared.EngineOptions(&opts)
 	if *suppress != "" {
 		opts.Suppress = strings.Split(*suppress, ",")
 	}

@@ -17,11 +17,14 @@ import (
 	"fmt"
 
 	"yashme"
-	"yashme/internal/tables"
+	"yashme/internal/workload"
+
+	// Link every built-in benchmark's registration.
+	_ "yashme/internal/workload/all"
 )
 
 func main() {
-	for _, spec := range tables.IndexSpecs()[:2] { // CCEH, Fast_Fair
+	for _, spec := range workload.Tagged(workload.TagTable3)[:2] { // CCEH, Fast_Fair
 		def := yashme.Run(spec.Make, yashme.Options{Mode: yashme.ModelCheck, Prefix: true})
 		eadr := yashme.Run(spec.Make, yashme.Options{Mode: yashme.ModelCheck, Prefix: true, EADR: true})
 

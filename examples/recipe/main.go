@@ -12,12 +12,15 @@ import (
 	"time"
 
 	"yashme"
-	"yashme/internal/tables"
+	"yashme/internal/workload"
+
+	// Link every built-in benchmark's registration.
+	_ "yashme/internal/workload/all"
 )
 
 func main() {
 	total := 0
-	for _, spec := range tables.IndexSpecs() {
+	for _, spec := range workload.Tagged(workload.TagTable3) {
 		start := time.Now()
 		res := yashme.Run(spec.Make, yashme.Options{Mode: yashme.ModelCheck, Prefix: true})
 		elapsed := time.Since(start)

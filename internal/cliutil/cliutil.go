@@ -1,0 +1,117 @@
+// Package cliutil holds the run-configuration flags and pprof plumbing
+// shared by cmd/yashme and cmd/yashme-tables, so the two CLIs define the
+// workers/checkpoint/directrun/shard/json/tags/profile surface exactly
+// once and cannot drift.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"yashme/internal/engine"
+	"yashme/internal/suite"
+)
+
+// Flags is the shared flag set, populated by Register and read after
+// flag.Parse.
+type Flags struct {
+	Workers    int
+	Checkpoint bool
+	DirectRun  bool
+	Shard      string
+	JSON       bool
+	Tags       string
+	CPUProfile string
+	MemProfile string
+}
+
+// Register defines the shared flags on the default flag set and returns
+// the struct their values land in.
+func Register() *Flags {
+	f := &Flags{}
+	flag.IntVar(&f.Workers, "workers", 0, "shared scenario-worker budget (0 = GOMAXPROCS, 1 = sequential; results identical)")
+	flag.BoolVar(&f.Checkpoint, "checkpoint", true, "model-check: resume crash scenarios from pre-crash snapshots (results identical; =false re-simulates every prefix)")
+	flag.BoolVar(&f.DirectRun, "directrun", true, "run a solo runnable thread inline without scheduler handoffs (results identical; =false pays the handshake on every op)")
+	flag.StringVar(&f.Shard, "shard", "", "run shard i/n of the suite (deterministic by benchmark name; union of shards == full run)")
+	flag.BoolVar(&f.JSON, "json", false, "emit the unified suite result as JSON instead of rendered output")
+	flag.StringVar(&f.Tags, "tags", "", "comma-separated workload tags to select (e.g. table3,pmdk; empty = all)")
+	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	return f
+}
+
+// SuiteConfig converts the parsed flags into a suite.Config (selection,
+// shard, worker budget and engine fast-path modes).
+func (f *Flags) SuiteConfig() (suite.Config, error) {
+	shard, count, err := suite.ParseShard(f.Shard)
+	if err != nil {
+		return suite.Config{}, err
+	}
+	cfg := suite.Config{
+		Shard:      shard,
+		ShardCount: count,
+		Workers:    f.Workers,
+	}
+	if f.Tags != "" {
+		cfg.Tags = strings.Split(f.Tags, ",")
+	}
+	f.applyModes(&cfg.Checkpoint, &cfg.DirectRun)
+	return cfg, nil
+}
+
+// EngineOptions applies the shared worker/fast-path flags to a single
+// engine run's options (cmd/yashme's single-benchmark path).
+func (f *Flags) EngineOptions(opts *engine.Options) {
+	opts.Workers = f.Workers
+	f.applyModes(&opts.Checkpoint, &opts.DirectRun)
+}
+
+func (f *Flags) applyModes(ck *engine.CheckpointMode, dr *engine.DirectRunMode) {
+	if !f.Checkpoint {
+		*ck = engine.CheckpointOff
+	}
+	if !f.DirectRun {
+		*dr = engine.DirectRunOff
+	}
+}
+
+// StartProfiles starts the CPU profile and arms the heap profile per the
+// flags. The returned stop function must run before exit (defer it from a
+// run() that the real main delegates to); it is non-nil even when no
+// profile was requested.
+func (f *Flags) StartProfiles(tool string) (stop func(), err error) {
+	var cpu *os.File
+	if f.CPUProfile != "" {
+		cpu, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if f.MemProfile == "" {
+			return
+		}
+		out, err := os.Create(f.MemProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+			return
+		}
+		defer out.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(out); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		}
+	}, nil
+}

@@ -1,0 +1,54 @@
+package engine
+
+import "runtime"
+
+// Budget is a counting semaphore bounding how many crash scenarios (and
+// planner probe runs) simulate concurrently across every engine Run that
+// shares it. A single Run bounds its own parallelism with Options.Workers;
+// when a layer above runs several benchmarks at once — the suite runner in
+// internal/suite — each Run's workers would multiply and oversubscribe the
+// machine. Threading one Budget through every Options keeps the total
+// number of in-flight simulations at the budget's size, process-wide,
+// while per-Run worker pools stay free to claim the whole budget when the
+// other runs are idle.
+//
+// Tokens are held only while a probe or scenario group actually simulates,
+// never across channel sends, so a Budget cannot deadlock: every holder
+// releases without needing a second token. A nil *Budget is valid and
+// unlimited — Acquire and Release on nil are no-ops — so the zero Options
+// behaves exactly as before.
+type Budget struct {
+	tokens chan struct{}
+}
+
+// NewBudget returns a budget admitting n concurrent simulations
+// (n <= 0 = runtime.GOMAXPROCS(0)).
+func NewBudget(n int) *Budget {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Budget{tokens: make(chan struct{}, n)}
+}
+
+// Size returns the number of concurrent simulations the budget admits
+// (0 for a nil, unlimited budget).
+func (b *Budget) Size() int {
+	if b == nil {
+		return 0
+	}
+	return cap(b.tokens)
+}
+
+// Acquire blocks until a token is free. No-op on a nil budget.
+func (b *Budget) Acquire() {
+	if b != nil {
+		b.tokens <- struct{}{}
+	}
+}
+
+// Release returns a token. No-op on a nil budget.
+func (b *Budget) Release() {
+	if b != nil {
+		<-b.tokens
+	}
+}

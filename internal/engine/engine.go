@@ -187,6 +187,13 @@ type Options struct {
 	// MaxOps bounds the simulated operations of one execution (0 =
 	// DefaultMaxOps); exceeding it panics with a diagnostic.
 	MaxOps int
+	// Budget, when non-nil, is a worker budget shared with other
+	// concurrent Runs: probe runs and crash-scenario groups acquire a
+	// token for the duration of their simulation, so the total in-flight
+	// simulations across every Run sharing the budget never exceeds its
+	// size (see Budget). nil is unlimited; results are identical either
+	// way — the budget only sequences work, it never reorders the merge.
+	Budget *Budget
 	// EADR detects only the races possible on eADR platforms, where the
 	// cache is in the persistence domain (§7.5). The persisted image is the
 	// full committed state (flushing is a no-op for durability).
@@ -237,20 +244,20 @@ func (o Options) withDefaults() Options {
 // SimulatedOps always; like SimulatedOps, both counters vary with the
 // DirectRun and Checkpoint modes while every other counter does not.
 type Stats struct {
-	Stores  int64
-	Loads   int64
-	Flushes int64
-	Fences  int64
-	RMWs    int64
+	Stores  int64 `json:"stores"`
+	Loads   int64 `json:"loads"`
+	Flushes int64 `json:"flushes"`
+	Fences  int64 `json:"fences"`
+	RMWs    int64 `json:"rmws"`
 	// SimulatedOps is the number of operations actually simulated (stepped
 	// through the scheduler), across probes and scenarios.
-	SimulatedOps int64
+	SimulatedOps int64 `json:"simulated_ops"`
 	// Handoffs counts simulated operations that paid the scheduler
 	// handshake.
-	Handoffs int64
+	Handoffs int64 `json:"handoffs"`
 	// DirectOps counts simulated operations that ran under a direct-run
 	// lease, with no handoff.
-	DirectOps int64
+	DirectOps int64 `json:"direct_ops"`
 }
 
 func (s *Stats) add(o Stats) {
@@ -271,10 +278,10 @@ func (s *Stats) add(o Stats) {
 // narrow window between a store and its flush does.
 type PointStat struct {
 	// Point is the 1-based crash point (0 = crash at completion).
-	Point int
+	Point int `json:"point"`
 	// Races is the number of deduplicated races found by scenarios that
 	// crashed before this point (max across persist policies).
-	Races int
+	Races int `json:"races"`
 }
 
 // Result is the outcome of a Run.

@@ -114,7 +114,9 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 	workers := opts.Workers
 	if workers == 1 {
 		sum := planSpecs(makeProg, opts, func(spec scenarioSpec) {
+			opts.Budget.Acquire()
 			r := runSpec(makeProg, opts, spec)
+			opts.Budget.Release()
 			if r.panicked != nil {
 				panic(r.panicked)
 			}
@@ -151,7 +153,13 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 		go func() {
 			defer wg.Done()
 			for spec := range specCh {
-				resCh <- runSpec(makeProg, opts, spec)
+				// The token covers only the simulation, not the send:
+				// a blocked merge can never starve other Runs sharing
+				// the budget.
+				opts.Budget.Acquire()
+				r := runSpec(makeProg, opts, spec)
+				opts.Budget.Release()
+				resCh <- r
 			}
 		}()
 	}
@@ -251,7 +259,9 @@ func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenari
 			sink = newSnapshotSink(0, opts.MaxCrashPoints)
 			probe.capture = sink
 		}
+		opts.Budget.Acquire()
 		probe.run()
+		opts.Budget.Release()
 		sum.simulatedOps += probe.stats.SimulatedOps
 		sum.handoffs += probe.stats.Handoffs
 		sum.directOps += probe.stats.DirectOps
@@ -301,7 +311,9 @@ func planRandom(makeProg func() pmm.Program, opts Options, emit func(scenarioSpe
 		// Probe with this schedule to count its crash points, then emit
 		// the identical schedule crashing before a random one of them.
 		probe := newScenario(makeProg, opts, plan{}, PersistRandom, schedSeed)
+		opts.Budget.Acquire()
 		probe.run()
+		opts.Budget.Release()
 		sum.simulatedOps += probe.stats.SimulatedOps
 		sum.handoffs += probe.stats.Handoffs
 		sum.directOps += probe.stats.DirectOps

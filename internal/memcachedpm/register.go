@@ -1,0 +1,18 @@
+package memcachedpm
+
+import "yashme/internal/workload"
+
+// The paper's Memcached evaluation: part of the Table 4 random-mode sweep
+// (4 races), a Table 5 row (seed 2, 4 prefix / 2 baseline), and a §7.5
+// benign-race program (all crash points).
+func init() {
+	workload.Register(workload.Spec{
+		Name:          "Memcached",
+		Order:         12,
+		Make:          New(4, nil),
+		Table5Seed:    2,
+		PaperPrefix:   4,
+		PaperBaseline: 2,
+		Tags:          []string{workload.TagTable4, workload.TagTable5, workload.TagBenign, workload.TagFramework},
+	})
+}

@@ -1,0 +1,40 @@
+package pmdk
+
+import "yashme/internal/workload"
+
+// The paper's PMDK evaluation: the five example programs are Table 5 rows
+// (random mode, seed 1, 1 prefix / 0 baseline each), and the combined
+// "PMDK" workload is the Table 4 random-mode sweep (1 race) and a §7.5
+// benign-race program (crash points capped at 60 in that run).
+func init() {
+	workload.Register(workload.Spec{
+		Name: "Btree", Order: 6, Make: NewBTreeProg(4, nil),
+		Table5Seed: 1, PaperPrefix: 1,
+		Tags: []string{workload.TagTable5, workload.TagPMDK},
+	})
+	workload.Register(workload.Spec{
+		Name: "Ctree", Order: 7, Make: NewCTreeProg(4, nil),
+		Table5Seed: 1, PaperPrefix: 1,
+		Tags: []string{workload.TagTable5, workload.TagPMDK},
+	})
+	workload.Register(workload.Spec{
+		Name: "RBtree", Order: 8, Make: NewRBTreeProg(4, nil),
+		Table5Seed: 1, PaperPrefix: 1,
+		Tags: []string{workload.TagTable5, workload.TagPMDK},
+	})
+	workload.Register(workload.Spec{
+		Name: "hashmap-atomic", Order: 9, Make: NewHashmapAtomicProg(4, nil),
+		Table5Seed: 1, PaperPrefix: 1,
+		Tags: []string{workload.TagTable5, workload.TagPMDK},
+	})
+	workload.Register(workload.Spec{
+		Name: "hashmap-tx", Order: 10, Make: NewHashmapTXProg(4, nil),
+		Table5Seed: 1, PaperPrefix: 1,
+		Tags: []string{workload.TagTable5, workload.TagPMDK},
+	})
+	workload.Register(workload.Spec{
+		Name: "PMDK", Order: 13, Make: NewPMDKProg(3, nil),
+		BenignCrashPoints: 60,
+		Tags:              []string{workload.TagTable4, workload.TagBenign, workload.TagFramework},
+	})
+}

@@ -1,0 +1,18 @@
+package cceh
+
+import "yashme/internal/workload"
+
+// The paper's CCEH evaluation: model-checked in Table 3 (2 races), seed 1
+// for the single-execution Table 5 row (2 prefix / 0 baseline), and the
+// benchmark the detection-window histogram (Figures 5b/6) is drawn from.
+func init() {
+	workload.Register(workload.Spec{
+		Name:        "CCEH",
+		Order:       0,
+		Make:        New(4, nil),
+		ModelCheck:  true,
+		Table5Seed:  1,
+		PaperPrefix: 2,
+		Tags:        []string{workload.TagTable3, workload.TagTable5, workload.TagIndex, workload.TagWindow},
+	})
+}

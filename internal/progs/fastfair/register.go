@@ -1,0 +1,18 @@
+package fastfair
+
+import "yashme/internal/workload"
+
+// The paper's FAST_FAIR evaluation: model-checked in Table 3 (6 races),
+// seed 11 for the Table 5 row (2 prefix / 1 baseline).
+func init() {
+	workload.Register(workload.Spec{
+		Name:          "Fast_Fair",
+		Order:         1,
+		Make:          New(7, nil),
+		ModelCheck:    true,
+		Table5Seed:    11,
+		PaperPrefix:   2,
+		PaperBaseline: 1,
+		Tags:          []string{workload.TagTable3, workload.TagTable5, workload.TagIndex},
+	})
+}

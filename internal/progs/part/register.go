@@ -1,0 +1,16 @@
+package part
+
+import "yashme/internal/workload"
+
+// The paper's P-ART evaluation: model-checked in Table 3 (7 races), seed 3
+// for the Table 5 row (0 prefix / 0 baseline).
+func init() {
+	workload.Register(workload.Spec{
+		Name:       "P-ART",
+		Order:      2,
+		Make:       New(6, nil),
+		ModelCheck: true,
+		Table5Seed: 3,
+		Tags:       []string{workload.TagTable3, workload.TagTable5, workload.TagIndex},
+	})
+}

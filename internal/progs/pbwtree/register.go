@@ -1,0 +1,16 @@
+package pbwtree
+
+import "yashme/internal/workload"
+
+// The paper's P-BwTree evaluation: model-checked in Table 3 (1 race),
+// seed 2 for the Table 5 row (0 prefix / 0 baseline).
+func init() {
+	workload.Register(workload.Spec{
+		Name:       "P-BwTree",
+		Order:      3,
+		Make:       New(6, nil),
+		ModelCheck: true,
+		Table5Seed: 2,
+		Tags:       []string{workload.TagTable3, workload.TagTable5, workload.TagIndex},
+	})
+}

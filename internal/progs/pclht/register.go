@@ -1,0 +1,16 @@
+package pclht
+
+import "yashme/internal/workload"
+
+// The paper's P-CLHT evaluation: the race-free control of Table 3, seed 1
+// for the Table 5 row (0 prefix / 0 baseline).
+func init() {
+	workload.Register(workload.Spec{
+		Name:       "P-CLHT",
+		Order:      4,
+		Make:       New(6, nil),
+		ModelCheck: true,
+		Table5Seed: 1,
+		Tags:       []string{workload.TagTable3, workload.TagTable5, workload.TagIndex},
+	})
+}

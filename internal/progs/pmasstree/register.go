@@ -1,0 +1,17 @@
+package pmasstree
+
+import "yashme/internal/workload"
+
+// The paper's P-Masstree evaluation: model-checked in Table 3 (3 races),
+// seed 1 for the Table 5 row (2 prefix / 0 baseline).
+func init() {
+	workload.Register(workload.Spec{
+		Name:        "P-Masstree",
+		Order:       5,
+		Make:        New(7, nil),
+		ModelCheck:  true,
+		Table5Seed:  1,
+		PaperPrefix: 2,
+		Tags:        []string{workload.TagTable3, workload.TagTable5, workload.TagIndex},
+	})
+}

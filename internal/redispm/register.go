@@ -1,0 +1,17 @@
+package redispm
+
+import "yashme/internal/workload"
+
+// The paper's Redis evaluation: part of the Table 4 random-mode sweep
+// (0 races), a Table 5 row (seed 1, 0 prefix / 0 baseline), and a §7.5
+// benign-race program (crash points capped at 60 in that run).
+func init() {
+	workload.Register(workload.Spec{
+		Name:              "Redis",
+		Order:             11,
+		Make:              New(4, nil),
+		Table5Seed:        1,
+		BenignCrashPoints: 60,
+		Tags:              []string{workload.TagTable4, workload.TagTable5, workload.TagBenign, workload.TagFramework},
+	})
+}

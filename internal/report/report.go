@@ -16,29 +16,29 @@ import (
 // leaves unpersisted.
 type Race struct {
 	// Benchmark is the program under test.
-	Benchmark string
+	Benchmark string `json:"benchmark"`
 	// Field is the root cause: the named persistent field the racing store
 	// wrote (e.g. "Pair.key").
-	Field string
+	Field string `json:"field"`
 	// Addr is the racing store's address.
-	Addr uint64
+	Addr uint64 `json:"addr"`
 	// StoreSeq and StoreTID identify the racing store in the pre-crash
 	// commit order.
-	StoreSeq uint64
-	StoreTID int
+	StoreSeq uint64 `json:"store_seq"`
+	StoreTID int    `json:"store_tid"`
 	// ExecID is the pre-crash execution (in the execution stack) that the
 	// racing store belongs to.
-	ExecID int
+	ExecID int `json:"exec_id"`
 	// Benign marks a race observed only by checksum-validation loads
 	// (§7.5): a true persistency race by definition, but the program
 	// rejects the corrupt data before use.
-	Benign bool
+	Benign bool `json:"benign,omitempty"`
 	// Flushed reports whether the store had been flushed before the crash
 	// (true exactly when only the prefix expansion could reveal the race).
-	Flushed bool
+	Flushed bool `json:"flushed"`
 	// Witness, when execution tracing is enabled, is the race-revealing
 	// pre-crash prefix combined with the post-crash observation (§5.1).
-	Witness string
+	Witness string `json:"witness,omitempty"`
 }
 
 func (r Race) String() string {

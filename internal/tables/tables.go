@@ -1,8 +1,11 @@
-// Package tables regenerates every table of the paper's evaluation
-// (Tables 2a, 2b, 3, 4, 5 and the §7.5 benign-race count) from the live
-// system: the compiler-study pipeline and the race detector running over
-// the reproduced benchmarks. cmd/yashme-tables prints them; the tests and
-// root-level benchmarks assert their shape against the published numbers.
+// Package tables renders every table of the paper's evaluation (Tables
+// 2a, 2b, 3, 4, 5 and the §7.5 benign-race count). It is a pure
+// presentation layer: the compiler-study tables come straight from
+// internal/compiler, and every detector-derived table is formatted from a
+// suite.Result that the caller produced with internal/suite — this
+// package runs nothing and holds no configuration. cmd/yashme-tables
+// drives it; the tests assert the rendered shapes against the published
+// numbers.
 package tables
 
 import (
@@ -12,79 +15,10 @@ import (
 	"time"
 
 	"yashme/internal/compiler"
-	"yashme/internal/engine"
-	"yashme/internal/memcachedpm"
-	"yashme/internal/pmdk"
-	"yashme/internal/pmm"
-	"yashme/internal/progs/cceh"
-	"yashme/internal/progs/fastfair"
-	"yashme/internal/progs/part"
-	"yashme/internal/progs/pbwtree"
-	"yashme/internal/progs/pclht"
-	"yashme/internal/progs/pmasstree"
-	"yashme/internal/redispm"
 	"yashme/internal/report"
+	"yashme/internal/suite"
+	"yashme/internal/workload"
 )
-
-// Workers is the engine worker-pool size every table run uses (0 = the
-// engine default, GOMAXPROCS). cmd/yashme-tables sets it from -workers;
-// results are identical for every value (see engine.Options.Workers).
-var Workers int
-
-// Checkpoint is the checkpoint mode every table run uses (default on).
-// cmd/yashme-tables sets it from -checkpoint; results are identical either
-// way (see engine.Options.Checkpoint).
-var Checkpoint engine.CheckpointMode
-
-// DirectRun is the solo-thread direct-run lease mode every table run uses
-// (default on). cmd/yashme-tables sets it from -directrun; results are
-// identical either way (see engine.Options.DirectRun).
-var DirectRun engine.DirectRunMode
-
-// Spec describes one benchmark program and how the paper evaluated it.
-type Spec struct {
-	// Name is the benchmark name as it appears in the paper's tables.
-	Name string
-	// Make builds a fresh program instance.
-	Make func() pmm.Program
-	// ModelCheck selects the paper's mode for this benchmark (§7.1: model
-	// checking for the PM indexes, random mode for PMDK/Redis/Memcached).
-	ModelCheck bool
-	// Table5Seed is the seed for the single-execution Table 5 run.
-	Table5Seed int64
-	// PaperPrefix/PaperBaseline are the Table 5 counts the paper reports.
-	PaperPrefix, PaperBaseline int
-}
-
-// IndexSpecs are the Table 3 benchmarks (model-checking mode).
-func IndexSpecs() []Spec {
-	return []Spec{
-		{Name: "CCEH", Make: cceh.New(4, nil), ModelCheck: true, Table5Seed: 1, PaperPrefix: 2, PaperBaseline: 0},
-		{Name: "Fast_Fair", Make: fastfair.New(7, nil), ModelCheck: true, Table5Seed: 11, PaperPrefix: 2, PaperBaseline: 1},
-		{Name: "P-ART", Make: part.New(6, nil), ModelCheck: true, Table5Seed: 3, PaperPrefix: 0, PaperBaseline: 0},
-		{Name: "P-BwTree", Make: pbwtree.New(6, nil), ModelCheck: true, Table5Seed: 2, PaperPrefix: 0, PaperBaseline: 0},
-		{Name: "P-CLHT", Make: pclht.New(6, nil), ModelCheck: true, Table5Seed: 1, PaperPrefix: 0, PaperBaseline: 0},
-		{Name: "P-Masstree", Make: pmasstree.New(7, nil), ModelCheck: true, Table5Seed: 1, PaperPrefix: 2, PaperBaseline: 0},
-	}
-}
-
-// FrameworkSpecs are the Table 4/5 framework benchmarks (random mode).
-func FrameworkSpecs() []Spec {
-	return []Spec{
-		{Name: "Btree", Make: pmdk.NewBTreeProg(4, nil), Table5Seed: 1, PaperPrefix: 1, PaperBaseline: 0},
-		{Name: "Ctree", Make: pmdk.NewCTreeProg(4, nil), Table5Seed: 1, PaperPrefix: 1, PaperBaseline: 0},
-		{Name: "RBtree", Make: pmdk.NewRBTreeProg(4, nil), Table5Seed: 1, PaperPrefix: 1, PaperBaseline: 0},
-		{Name: "hashmap-atomic", Make: pmdk.NewHashmapAtomicProg(4, nil), Table5Seed: 1, PaperPrefix: 1, PaperBaseline: 0},
-		{Name: "hashmap-tx", Make: pmdk.NewHashmapTXProg(4, nil), Table5Seed: 1, PaperPrefix: 1, PaperBaseline: 0},
-		{Name: "Redis", Make: redispm.New(4, nil), Table5Seed: 1, PaperPrefix: 0, PaperBaseline: 0},
-		{Name: "Memcached", Make: memcachedpm.New(4, nil), Table5Seed: 2, PaperPrefix: 4, PaperBaseline: 2},
-	}
-}
-
-// AllSpecs is every Table 5 benchmark in paper order.
-func AllSpecs() []Spec {
-	return append(IndexSpecs(), FrameworkSpecs()...)
-}
 
 // --- Table 2 ---
 
@@ -118,35 +52,51 @@ type RaceRow struct {
 	Field     string
 }
 
-// Table3 model-checks the six PM indexes and returns the deduplicated race
-// rows (paper Table 3: 19 rows).
-func Table3() []RaceRow {
+// Table3 extracts the Table 3 rows (paper: 19) from the suite result: the
+// model-checked races of every table3-tagged benchmark, in paper order.
+func Table3(res *suite.Result) []RaceRow {
 	var rows []RaceRow
 	idx := 1
-	for _, spec := range IndexSpecs() {
-		res := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
-		for _, f := range res.Report.Fields() {
-			rows = append(rows, RaceRow{Index: idx, Benchmark: spec.Name, Field: f})
+	for i := range res.Benchmarks {
+		bench := &res.Benchmarks[i]
+		if !bench.HasTag(workload.TagTable3) {
+			continue
+		}
+		run := bench.Run(suite.RunRaces)
+		if run == nil {
+			continue
+		}
+		for _, r := range run.Races {
+			rows = append(rows, RaceRow{Index: idx, Benchmark: bench.Name, Field: r.Field})
 			idx++
 		}
 	}
 	return rows
 }
 
-// Table4 runs the frameworks in random mode (as the paper does) and returns
-// the deduplicated race rows (paper Table 4: 5 rows — 1 PMDK, 4 Memcached,
-// 0 Redis).
-func Table4() []RaceRow {
-	set := report.NewSet()
-	run := func(mk func() pmm.Program) {
-		res := engine.Run(mk, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: 1, Executions: 40, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
-		set.Merge(res.Report)
+// Table4 extracts the Table 4 rows (paper: 5 — 1 PMDK, 4 Memcached,
+// 0 Redis) from the suite result: the random-mode races of every
+// table4-tagged benchmark, in the report set's stable (benchmark, field)
+// order.
+func Table4(res *suite.Result) []RaceRow {
+	var races []report.Race
+	for i := range res.Benchmarks {
+		bench := &res.Benchmarks[i]
+		if !bench.HasTag(workload.TagTable4) {
+			continue
+		}
+		if run := bench.Run(suite.RunRaces); run != nil {
+			races = append(races, run.Races...)
+		}
 	}
-	run(pmdk.NewPMDKProg(3, nil))
-	run(memcachedpm.New(4, nil))
-	run(redispm.New(4, nil))
+	sort.Slice(races, func(i, j int) bool {
+		if races[i].Benchmark != races[j].Benchmark {
+			return races[i].Benchmark < races[j].Benchmark
+		}
+		return races[i].Field < races[j].Field
+	})
 	var rows []RaceRow
-	for i, r := range set.Races() {
+	for i, r := range races {
 		rows = append(rows, RaceRow{Index: i + 1, Benchmark: r.Benchmark, Field: r.Field})
 	}
 	return rows
@@ -177,26 +127,32 @@ type Table5Row struct {
 	PaperPrefix, PaperBaseline int
 }
 
-// Table5 runs every benchmark for a single randomly generated execution
-// (the paper's §7.3 configuration) in three variants: prefix, baseline, and
-// detector-off (Jaaru).
-func Table5() []Table5Row {
+// Table5 extracts the Table 5 rows from the suite result: the
+// single-execution prefix/baseline/detector-off runs of every
+// table5-tagged benchmark, in paper order.
+func Table5(res *suite.Result) []Table5Row {
 	var rows []Table5Row
-	for _, spec := range AllSpecs() {
-		row := Table5Row{Benchmark: spec.Name, PaperPrefix: spec.PaperPrefix, PaperBaseline: spec.PaperBaseline}
-
-		start := time.Now()
-		p := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
-		row.YashmeTime = time.Since(start)
-		row.Prefix = p.Report.Count()
-
-		b := engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: false, Seed: spec.Table5Seed, Executions: 1, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
-		row.Baseline = b.Report.Count()
-
-		start = time.Now()
-		engine.Run(spec.Make, engine.Options{Mode: engine.RandomMode, Prefix: true, Seed: spec.Table5Seed, Executions: 1, DetectorOff: true, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
-		row.JaaruTime = time.Since(start)
-
+	for i := range res.Benchmarks {
+		bench := &res.Benchmarks[i]
+		if !bench.HasTag(workload.TagTable5) {
+			continue
+		}
+		prefix := bench.Run(suite.RunTable5Prefix)
+		baseline := bench.Run(suite.RunTable5Baseline)
+		jaaru := bench.Run(suite.RunTable5Jaaru)
+		if prefix == nil || baseline == nil || jaaru == nil {
+			continue
+		}
+		row := Table5Row{
+			Benchmark:  bench.Name,
+			Prefix:     prefix.RaceCount,
+			Baseline:   baseline.RaceCount,
+			YashmeTime: time.Duration(prefix.ElapsedNs),
+			JaaruTime:  time.Duration(jaaru.ElapsedNs),
+		}
+		if spec, ok := workload.Lookup(bench.Name); ok {
+			row.PaperPrefix, row.PaperBaseline = spec.PaperPrefix, spec.PaperBaseline
+		}
 		rows = append(rows, row)
 	}
 	return rows
@@ -222,19 +178,19 @@ func Table5Text(rows []Table5Row) string {
 
 // --- §7.5 benign races ---
 
-// BenignRaces runs the checksum-using frameworks in model-checking mode and
-// returns the deduplicated benign (checksum-guarded) races; the paper
-// reports 10.
-func BenignRaces() []report.Race {
-	set := report.NewSet()
-	run := func(mk func() pmm.Program, cap int) {
-		res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true, MaxCrashPoints: cap, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
-		set.Merge(res.Report)
+// BenignRaces extracts the deduplicated benign (checksum-guarded) races
+// from the suite result's benign runs; the paper reports 10.
+func BenignRaces(res *suite.Result) []report.Race {
+	var out []report.Race
+	for i := range res.Benchmarks {
+		bench := &res.Benchmarks[i]
+		if !bench.HasTag(workload.TagBenign) {
+			continue
+		}
+		if run := bench.Run(suite.RunBenign); run != nil {
+			out = append(out, run.Benign...)
+		}
 	}
-	run(pmdk.NewPMDKProg(3, nil), 60)
-	run(memcachedpm.New(4, nil), 0)
-	run(redispm.New(4, nil), 60)
-	out := set.Benign()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Benchmark != out[j].Benchmark {
 			return out[i].Benchmark < out[j].Benchmark
@@ -299,13 +255,13 @@ func BugIndex() []BugInfo {
 }
 
 // BugIndexText renders the bug index, marking each bug found/missed by the
-// live Table 3/4 runs.
-func BugIndexText() string {
+// suite result's Table 3/4 runs.
+func BugIndexText(res *suite.Result) string {
 	found := map[string]bool{}
-	for _, r := range Table3() {
+	for _, r := range Table3(res) {
 		found[r.Benchmark+"/"+r.Field] = true
 	}
-	for _, r := range Table4() {
+	for _, r := range Table4(res) {
 		found[r.Benchmark+"/"+r.Field] = true
 	}
 	var b strings.Builder
@@ -326,15 +282,23 @@ func BugIndexText() string {
 // prefix and baseline modes: the executable version of the paper's
 // detection-window discussion. Prefix mode reveals races at most crash
 // points (any consistent prefix works); the baseline needs the crash inside
-// a store→flush window.
-func WindowText(spec Spec) string {
-	p := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: true, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
-	b := engine.Run(spec.Make, engine.Options{Mode: engine.ModelCheck, Prefix: false, Workers: Workers, Checkpoint: Checkpoint, DirectRun: DirectRun})
+// a store→flush window. The prefix histogram is the races run's Window;
+// the baseline histogram is the window-baseline run's.
+func WindowText(res *suite.Result, name string) string {
+	bench := res.Bench(name)
+	if bench == nil {
+		return fmt.Sprintf("%s: not in this suite result\n", name)
+	}
+	p := bench.Run(suite.RunRaces)
+	base := bench.Run(suite.RunWindow)
+	if p == nil || base == nil {
+		return fmt.Sprintf("%s: suite result lacks the races/window runs\n", name)
+	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s: races revealed per crash point (0 = crash at completion)\n", spec.Name)
+	fmt.Fprintf(&sb, "%s: races revealed per crash point (0 = crash at completion)\n", name)
 	fmt.Fprintf(&sb, "%-7s %-8s %s\n", "point", "prefix", "baseline")
 	bl := map[int]int{}
-	for _, row := range b.Window {
+	for _, row := range base.Window {
 		bl[row.Point] = row.Races
 	}
 	for _, row := range p.Window {

@@ -2,15 +2,28 @@ package tables
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
-	"yashme/internal/engine"
+	"yashme/internal/suite"
 )
+
+// The detector-derived tables all render from one suite result; run the
+// full default suite exactly once and share it across tests.
+var (
+	suiteOnce sync.Once
+	suiteRes  *suite.Result
+)
+
+func fullSuite() *suite.Result {
+	suiteOnce.Do(func() { suiteRes = suite.Run(suite.Config{}) })
+	return suiteRes
+}
 
 // Table 3 must reproduce all 19 rows with the paper's benchmark/field
 // attribution.
 func TestTable3MatchesPaper(t *testing.T) {
-	rows := Table3()
+	rows := Table3(fullSuite())
 	if len(rows) != 19 {
 		t.Fatalf("Table 3 rows = %d, want 19\n%s", len(rows), RaceRowsText(rows))
 	}
@@ -31,7 +44,7 @@ func TestTable3MatchesPaper(t *testing.T) {
 // Table 4 must reproduce the 5 framework races: 1 PMDK + 4 Memcached,
 // 0 Redis.
 func TestTable4MatchesPaper(t *testing.T) {
-	rows := Table4()
+	rows := Table4(fullSuite())
 	if len(rows) != 5 {
 		t.Fatalf("Table 4 rows = %d, want 5\n%s", len(rows), RaceRowsText(rows))
 	}
@@ -48,7 +61,7 @@ func TestTable4MatchesPaper(t *testing.T) {
 // counts with the calibrated seeds, and the totals must show the prefix
 // advantage (13 vs 3).
 func TestTable5MatchesPaper(t *testing.T) {
-	rows := Table5()
+	rows := Table5(fullSuite())
 	if len(rows) != 13 {
 		t.Fatalf("Table 5 rows = %d, want 13", len(rows))
 	}
@@ -72,7 +85,7 @@ func TestTable5MatchesPaper(t *testing.T) {
 
 // §7.5: exactly 10 deduplicated benign checksum-guarded races.
 func TestBenignRacesMatchPaper(t *testing.T) {
-	races := BenignRaces()
+	races := BenignRaces(fullSuite())
 	if len(races) != 10 {
 		t.Fatalf("benign races = %d, want 10:\n%s", len(races), BenignText(races))
 	}
@@ -97,7 +110,7 @@ func TestBugIndexComplete(t *testing.T) {
 	if len(idx) != 24 {
 		t.Fatalf("bug index has %d entries, want 24", len(idx))
 	}
-	out := BugIndexText()
+	out := BugIndexText(fullSuite())
 	if strings.Contains(out, "MISSED") {
 		t.Fatalf("bug index reports missed bugs:\n%s", out)
 	}
@@ -106,19 +119,26 @@ func TestBugIndexComplete(t *testing.T) {
 // E9: the detection-window histogram separates the modes: prefix reveals
 // races at strictly more crash points than the baseline.
 func TestWindowHistogramShape(t *testing.T) {
-	out := WindowText(IndexSpecs()[0])
+	res := fullSuite()
+	out := WindowText(res, "CCEH")
 	if !strings.Contains(out, "prefix") || !strings.Contains(out, "baseline") {
 		t.Fatalf("window text malformed:\n%s", out)
 	}
-	p := engine.Run(IndexSpecs()[0].Make, engine.Options{Mode: engine.ModelCheck, Prefix: true})
-	b := engine.Run(IndexSpecs()[0].Make, engine.Options{Mode: engine.ModelCheck, Prefix: false})
+	bench := res.Bench("CCEH")
+	if bench == nil {
+		t.Fatal("CCEH missing from suite result")
+	}
+	p, base := bench.Run(suite.RunRaces), bench.Run(suite.RunWindow)
+	if p == nil || base == nil {
+		t.Fatal("CCEH suite result lacks races/window runs")
+	}
 	pPoints, bPoints := 0, 0
 	for _, row := range p.Window {
 		if row.Races > 0 {
 			pPoints++
 		}
 	}
-	for _, row := range b.Window {
+	for _, row := range base.Window {
 		if row.Races > 0 {
 			bPoints++
 		}

@@ -1,0 +1,18 @@
+// Package all links every built-in benchmark into the binary: each
+// program package registers its workload.Spec from an init function, so a
+// blank import of this package is what makes workload.All() complete.
+// internal/suite imports it, so any suite consumer gets the full registry
+// for free; standalone tools (examples, cmd/seedscan) import it directly.
+package all
+
+import (
+	_ "yashme/internal/memcachedpm"
+	_ "yashme/internal/pmdk"
+	_ "yashme/internal/progs/cceh"
+	_ "yashme/internal/progs/fastfair"
+	_ "yashme/internal/progs/part"
+	_ "yashme/internal/progs/pbwtree"
+	_ "yashme/internal/progs/pclht"
+	_ "yashme/internal/progs/pmasstree"
+	_ "yashme/internal/redispm"
+)

@@ -1,0 +1,154 @@
+// Package workload is the benchmark registry: every reproduced program
+// (the RECIPE indexes, CCEH, FAST_FAIR, the PMDK examples, Redis,
+// Memcached) registers a Spec describing itself and how the paper
+// evaluated it — its mode, its Table 5 seed and published counts, and the
+// tags that place it in the evaluation (table3/table4/table5/benign).
+//
+// Specs live next to the programs they describe (each program package
+// registers its own in an init function); importing
+// yashme/internal/workload/all — directly, or transitively through
+// internal/suite — links every built-in benchmark into the binary. The
+// suite runner (internal/suite) turns the registry into runs; the tables
+// package (internal/tables) only renders what the suite produced.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"yashme/internal/pmm"
+)
+
+// Tags placing a benchmark in the paper's evaluation. A spec may carry
+// any number of them; the suite runner derives which runs a benchmark
+// gets from its tags (see internal/suite).
+const (
+	// TagTable3 marks the model-checked PM indexes of Table 3.
+	TagTable3 = "table3"
+	// TagTable4 marks the random-mode framework sweeps of Table 4.
+	TagTable4 = "table4"
+	// TagTable5 marks the single-execution prefix/baseline rows of Table 5.
+	TagTable5 = "table5"
+	// TagBenign marks the §7.5 benign checksum-race inventory programs.
+	TagBenign = "benign"
+	// TagWindow marks the benchmark(s) the detection-window histogram
+	// (Figures 5b/6) is generated for.
+	TagWindow = "window"
+	// TagIndex marks the persistent-memory index structures (§7.1).
+	TagIndex = "index"
+	// TagPMDK marks the PMDK example programs.
+	TagPMDK = "pmdk"
+	// TagFramework marks the full-framework workloads (PMDK, Redis,
+	// Memcached).
+	TagFramework = "framework"
+)
+
+// Spec describes one benchmark program and how the paper evaluated it.
+type Spec struct {
+	// Name is the benchmark name as it appears in the paper's tables.
+	Name string
+	// Order is the benchmark's position in the paper's table order; All
+	// returns specs sorted by it.
+	Order int
+	// Make builds a fresh program instance.
+	Make func() pmm.Program
+	// ModelCheck selects the paper's mode for this benchmark (§7.1: model
+	// checking for the PM indexes, random mode for PMDK/Redis/Memcached).
+	ModelCheck bool
+	// Table5Seed is the seed for the single-execution Table 5 run.
+	Table5Seed int64
+	// PaperPrefix/PaperBaseline are the Table 5 counts the paper reports.
+	PaperPrefix, PaperBaseline int
+	// BenignCrashPoints caps the model-check crash points of the §7.5
+	// benign-race run (specs tagged TagBenign only; 0 = all points).
+	BenignCrashPoints int
+	// Tags place the benchmark in the evaluation (see the Tag constants).
+	Tags []string
+}
+
+// HasTag reports whether the spec carries the tag.
+func (s Spec) HasTag(tag string) bool {
+	for _, t := range s.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAnyTag reports whether the spec carries at least one of the tags; an
+// empty tag list matches every spec.
+func (s Spec) HasAnyTag(tags []string) bool {
+	if len(tags) == 0 {
+		return true
+	}
+	for _, t := range tags {
+		if s.HasTag(t) {
+			return true
+		}
+	}
+	return false
+}
+
+var (
+	mu    sync.Mutex
+	specs = map[string]Spec{}
+)
+
+// Register adds a spec to the registry. Program packages call it from
+// init; a duplicate name, an empty name or a nil Make panics — the
+// registry is the single source of truth for what a name means.
+func Register(s Spec) {
+	if s.Name == "" {
+		panic("workload: Register with empty name")
+	}
+	if s.Make == nil {
+		panic(fmt.Sprintf("workload: Register(%q) with nil Make", s.Name))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := specs[s.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate Register(%q)", s.Name))
+	}
+	specs[s.Name] = s
+}
+
+// All returns every registered spec in paper-table order (Order, then
+// Name). The returned slice is the caller's to keep.
+func All() []Spec {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Spec, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Lookup returns the spec registered under name.
+func Lookup(name string) (Spec, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	s, ok := specs[name]
+	return s, ok
+}
+
+// Tagged returns the registered specs carrying at least one of the tags,
+// in paper order; no tags means all specs.
+func Tagged(tags ...string) []Spec {
+	all := All()
+	out := all[:0]
+	for _, s := range all {
+		if s.HasAnyTag(tags) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package workload_test
+
+import (
+	"testing"
+
+	"yashme/internal/workload"
+
+	// Link every built-in benchmark's registration.
+	_ "yashme/internal/workload/all"
+)
+
+// Every benchmark the old per-table spec lists carried must be registered,
+// with a buildable Make, a unique name and a stable paper order.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"CCEH", "Fast_Fair", "P-ART", "P-BwTree", "P-CLHT", "P-Masstree",
+		"Btree", "Ctree", "RBtree", "hashmap-atomic", "hashmap-tx",
+		"Redis", "Memcached", "PMDK",
+	}
+	all := workload.All()
+	if len(all) != len(want) {
+		names := make([]string, len(all))
+		for i, s := range all {
+			names[i] = s.Name
+		}
+		t.Fatalf("registry has %d specs, want %d: %v", len(all), len(want), names)
+	}
+	seen := map[string]bool{}
+	for i, s := range all {
+		if seen[s.Name] {
+			t.Errorf("duplicate spec %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Make == nil {
+			t.Errorf("%s: nil Make", s.Name)
+		}
+		if s.Name != want[i] {
+			t.Errorf("paper order[%d] = %q, want %q", i, s.Name, want[i])
+		}
+		if p := s.Make(); p.Name == "" {
+			t.Errorf("%s: Make built a nameless program", s.Name)
+		}
+	}
+	for _, name := range want {
+		if _, ok := workload.Lookup(name); !ok {
+			t.Errorf("Lookup(%q) missing", name)
+		}
+	}
+}
+
+// The tags must partition the registry exactly as the old spec lists did:
+// 6 Table 3 indexes, 3 Table 4 frameworks, 13 Table 5 rows, 3 benign
+// programs, and one window benchmark.
+func TestRegistryTagCounts(t *testing.T) {
+	counts := map[string]int{}
+	for _, s := range workload.All() {
+		for _, tag := range s.Tags {
+			counts[tag]++
+		}
+	}
+	want := map[string]int{
+		workload.TagTable3: 6,
+		workload.TagTable4: 3,
+		workload.TagTable5: 13,
+		workload.TagBenign: 3,
+		workload.TagWindow: 1,
+		workload.TagIndex:  6,
+	}
+	for tag, n := range want {
+		if counts[tag] != n {
+			t.Errorf("tag %q on %d specs, want %d", tag, counts[tag], n)
+		}
+	}
+	if got := len(workload.Tagged(workload.TagTable3)); got != 6 {
+		t.Errorf("Tagged(table3) = %d specs, want 6", got)
+	}
+	if got := len(workload.Tagged()); got != len(workload.All()) {
+		t.Errorf("Tagged() = %d specs, want all %d", got, len(workload.All()))
+	}
+}
+
+// Table 5 metadata must carry the calibrated seeds and paper counts.
+func TestTable5Metadata(t *testing.T) {
+	paperTotalP, paperTotalB := 0, 0
+	for _, s := range workload.Tagged(workload.TagTable5) {
+		if s.Table5Seed == 0 {
+			t.Errorf("%s: no Table5Seed", s.Name)
+		}
+		paperTotalP += s.PaperPrefix
+		paperTotalB += s.PaperBaseline
+	}
+	if paperTotalP != 15 || paperTotalB != 3 {
+		t.Errorf("paper Table 5 totals = %d vs %d, want 15 vs 3", paperTotalP, paperTotalB)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, s workload.Spec) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		workload.Register(s)
+	}
+	mustPanic("empty name", workload.Spec{})
+	mustPanic("nil make", workload.Spec{Name: "x-nil-make"})
+	dup, _ := workload.Lookup("CCEH")
+	mustPanic("duplicate", dup)
+}

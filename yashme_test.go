@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"yashme"
+	"yashme/internal/suite"
 	"yashme/internal/tables"
+	"yashme/internal/workload"
 )
 
 // The public facade detects the Figure 1 race end to end.
@@ -42,8 +44,12 @@ func TestHeadline24Races(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep")
 	}
-	t3 := tables.Table3()
-	t4 := tables.Table4()
+	res := suite.Run(suite.Config{
+		Tags:     []string{workload.TagTable3, workload.TagTable4},
+		Variants: []string{suite.VariantRaces},
+	})
+	t3 := tables.Table3(res)
+	t4 := tables.Table4(res)
 	if got := len(t3) + len(t4); got != 24 {
 		t.Fatalf("total races = %d (%d + %d), paper reports 24", got, len(t3), len(t4))
 	}
