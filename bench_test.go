@@ -134,20 +134,26 @@ func BenchmarkTable3Parallel(b *testing.B) {
 // committed artifact in CI.
 func BenchmarkSuiteTable3(b *testing.B) {
 	type benchStat struct {
-		Races        int   `json:"races"`
-		SimulatedOps int64 `json:"simulated_ops"`
-		Handoffs     int64 `json:"handoffs"`
-		DirectOps    int64 `json:"direct_ops"`
+		Races            int   `json:"races"`
+		SimulatedOps     int64 `json:"simulated_ops"`
+		Handoffs         int64 `json:"handoffs"`
+		DirectOps        int64 `json:"direct_ops"`
+		SnapshotBytes    int64 `json:"snapshot_bytes"`
+		JournalOps       int64 `json:"journal_ops"`
+		DedupedScenarios int64 `json:"deduped_scenarios"`
 	}
 	type measurement struct {
-		NsPerOp      int64                 `json:"ns_per_op"`
-		SimulatedOps int64                 `json:"simulated_ops"`
-		Handoffs     int64                 `json:"handoffs"`
-		DirectOps    int64                 `json:"direct_ops"`
-		Races        float64               `json:"races"`
-		AllocsPerOp  uint64                `json:"allocs_per_op"`
-		BytesPerOp   uint64                `json:"bytes_per_op"`
-		Benchmarks   map[string]*benchStat `json:"benchmarks"`
+		NsPerOp          int64                 `json:"ns_per_op"`
+		SimulatedOps     int64                 `json:"simulated_ops"`
+		Handoffs         int64                 `json:"handoffs"`
+		DirectOps        int64                 `json:"direct_ops"`
+		SnapshotBytes    int64                 `json:"snapshot_bytes"`
+		JournalOps       int64                 `json:"journal_ops"`
+		DedupedScenarios int64                 `json:"deduped_scenarios"`
+		Races            float64               `json:"races"`
+		AllocsPerOp      uint64                `json:"allocs_per_op"`
+		BytesPerOp       uint64                `json:"bytes_per_op"`
+		Benchmarks       map[string]*benchStat `json:"benchmarks"`
 	}
 	results := map[string]*measurement{}
 	for _, mode := range []struct {
@@ -189,6 +195,9 @@ func BenchmarkSuiteTable3(b *testing.B) {
 			m.SimulatedOps = stats.SimulatedOps
 			m.Handoffs = stats.Handoffs
 			m.DirectOps = stats.DirectOps
+			m.SnapshotBytes = stats.SnapshotBytes
+			m.JournalOps = stats.JournalOps
+			m.DedupedScenarios = stats.DedupedScenarios
 			m.Races = float64(races)
 			m.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(b.N)
 			m.BytesPerOp = (after.TotalAlloc - before.TotalAlloc) / uint64(b.N)
@@ -198,10 +207,13 @@ func BenchmarkSuiteTable3(b *testing.B) {
 					continue
 				}
 				m.Benchmarks[bench.Name] = &benchStat{
-					Races:        run.RaceCount,
-					SimulatedOps: run.Stats.SimulatedOps,
-					Handoffs:     run.Stats.Handoffs,
-					DirectOps:    run.Stats.DirectOps,
+					Races:            run.RaceCount,
+					SimulatedOps:     run.Stats.SimulatedOps,
+					Handoffs:         run.Stats.Handoffs,
+					DirectOps:        run.Stats.DirectOps,
+					SnapshotBytes:    run.Stats.SnapshotBytes,
+					JournalOps:       run.Stats.JournalOps,
+					DedupedScenarios: run.Stats.DedupedScenarios,
 				}
 			}
 		})

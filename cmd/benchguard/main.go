@@ -5,17 +5,23 @@
 //	go test -run xxx -bench BenchmarkSuiteTable3 .
 //	go run ./cmd/benchguard -baseline <committed>.json -fresh BENCH_suite.json
 //
-// Two checks:
+// Four checks:
 //
 //   - every mode of the fresh artifact must report exactly 19 races — the
 //     paper's Table 3 row count. A drift in either direction means a
 //     detector or equivalence bug, not noise. The per-benchmark breakdown
 //     the suite layer emits is printed alongside so a drift names its
 //     benchmark immediately;
+//   - checkpoint-on modes must report deduped_scenarios > 0: crash-image
+//     memoization going inert is a silent perf regression the wall-clock
+//     bar would not catch (-require-dedup=false to waive);
 //   - for every mode present in both artifacts, fresh ns_per_op must not
 //     exceed the baseline by more than -tolerance (default 25%). CI runners
 //     are noisy, so the bar is deliberately loose; a real regression from a
-//     scheduling or allocation change lands far beyond it.
+//     scheduling or allocation change lands far beyond it;
+//   - allocs_per_op and bytes_per_op get the same -tolerance bar. Allocation
+//     counts are far less noisy than wall-clock, so these catch a refactor
+//     that quietly reintroduces per-resume deep copies.
 package main
 
 import (
@@ -29,22 +35,30 @@ import (
 
 // benchStat mirrors the per-benchmark breakdown of a mode.
 type benchStat struct {
-	Races        int   `json:"races"`
-	SimulatedOps int64 `json:"simulated_ops"`
-	Handoffs     int64 `json:"handoffs"`
-	DirectOps    int64 `json:"direct_ops"`
+	Races            int   `json:"races"`
+	SimulatedOps     int64 `json:"simulated_ops"`
+	Handoffs         int64 `json:"handoffs"`
+	DirectOps        int64 `json:"direct_ops"`
+	SnapshotBytes    int64 `json:"snapshot_bytes"`
+	JournalOps       int64 `json:"journal_ops"`
+	DedupedScenarios int64 `json:"deduped_scenarios"`
 }
 
 // measurement mirrors the per-mode object of BENCH_suite.json (written by
 // BenchmarkSuiteTable3). Unknown fields are ignored so the guard tolerates
 // artifact growth.
 type measurement struct {
-	NsPerOp      int64                 `json:"ns_per_op"`
-	SimulatedOps int64                 `json:"simulated_ops"`
-	Handoffs     int64                 `json:"handoffs"`
-	DirectOps    int64                 `json:"direct_ops"`
-	Races        float64               `json:"races"`
-	Benchmarks   map[string]*benchStat `json:"benchmarks"`
+	NsPerOp          int64                 `json:"ns_per_op"`
+	SimulatedOps     int64                 `json:"simulated_ops"`
+	Handoffs         int64                 `json:"handoffs"`
+	DirectOps        int64                 `json:"direct_ops"`
+	SnapshotBytes    int64                 `json:"snapshot_bytes"`
+	JournalOps       int64                 `json:"journal_ops"`
+	DedupedScenarios int64                 `json:"deduped_scenarios"`
+	Races            float64               `json:"races"`
+	AllocsPerOp      uint64                `json:"allocs_per_op"`
+	BytesPerOp       uint64                `json:"bytes_per_op"`
+	Benchmarks       map[string]*benchStat `json:"benchmarks"`
 }
 
 type artifact struct {
@@ -88,7 +102,8 @@ func run() error {
 	baselinePath := flag.String("baseline", "", "committed BENCH_suite.json to compare against")
 	freshPath := flag.String("fresh", "BENCH_suite.json", "freshly generated artifact")
 	wantRaces := flag.Float64("races", 19, "exact race count every mode must report (Table 3)")
-	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns_per_op regression vs baseline")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns_per_op / allocs_per_op / bytes_per_op regression vs baseline")
+	requireDedup := flag.Bool("require-dedup", true, "checkpoint-on modes must report deduped_scenarios > 0")
 	flag.Parse()
 	if *baselinePath == "" {
 		return fmt.Errorf("-baseline is required")
@@ -118,6 +133,12 @@ func run() error {
 			failures = append(failures, fmt.Sprintf(
 				"mode %q: races = %v, want exactly %v", name, m.Races, *wantRaces))
 		}
+		// Crash-image memoization must actually fire on the checkpoint-on
+		// sweeps; zero skips means the signature layer went inert.
+		if *requireDedup && strings.HasPrefix(name, "on") && m.DedupedScenarios == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"mode %q: deduped_scenarios = 0; crash-image memoization is inert", name))
+		}
 		base, ok := baseline.Modes[name]
 		if !ok || base.NsPerOp <= 0 {
 			fmt.Printf("mode %-14s %12d ns/op  (no baseline)\n", name, m.NsPerOp)
@@ -130,6 +151,29 @@ func run() error {
 			failures = append(failures, fmt.Sprintf(
 				"mode %q: ns_per_op regressed %.1f%% (limit %.0f%%): %d -> %d",
 				name, (ratio-1)*100, *tolerance*100, base.NsPerOp, m.NsPerOp))
+		}
+		// Allocation gates: same loose bar as wall-clock. These catch the
+		// classic silent regression — a refactor that reintroduces per-resume
+		// deep copies — which CI wall-clock noise can absorb.
+		if base.AllocsPerOp > 0 && m.AllocsPerOp > 0 {
+			r := float64(m.AllocsPerOp) / float64(base.AllocsPerOp)
+			fmt.Printf("mode %-14s %12d allocs/op  baseline %12d  ratio %.3f\n",
+				name, m.AllocsPerOp, base.AllocsPerOp, r)
+			if r > 1+*tolerance {
+				failures = append(failures, fmt.Sprintf(
+					"mode %q: allocs_per_op regressed %.1f%% (limit %.0f%%): %d -> %d",
+					name, (r-1)*100, *tolerance*100, base.AllocsPerOp, m.AllocsPerOp))
+			}
+		}
+		if base.BytesPerOp > 0 && m.BytesPerOp > 0 {
+			r := float64(m.BytesPerOp) / float64(base.BytesPerOp)
+			fmt.Printf("mode %-14s %12d bytes/op   baseline %12d  ratio %.3f\n",
+				name, m.BytesPerOp, base.BytesPerOp, r)
+			if r > 1+*tolerance {
+				failures = append(failures, fmt.Sprintf(
+					"mode %q: bytes_per_op regressed %.1f%% (limit %.0f%%): %d -> %d",
+					name, (r-1)*100, *tolerance*100, base.BytesPerOp, m.BytesPerOp))
+			}
 		}
 	}
 	if len(failures) > 0 {

@@ -91,6 +91,20 @@ func (t *Table[T]) Peek(a pmm.Addr) *T {
 	return &t.slots[a]
 }
 
+// Reserve pre-allocates capacity for addresses [0, n) so subsequent growth
+// up to n reslices into zeroed spare capacity instead of reallocating.
+// Callers that know the address-space bound up front (a machine seeding an
+// image, a journal replay, an image rebuild) skip the geometric-growth
+// churn — roughly half the bytes a grow-from-empty fill allocates.
+func (t *Table[T]) Reserve(n int) {
+	if n <= cap(t.slots) || n > maxSlots {
+		return
+	}
+	s := make([]T, len(t.slots), n)
+	copy(s, t.slots)
+	t.slots = s
+}
+
 // Clone returns an independent flat copy of the table. Slot values are
 // copied shallowly: reference-typed state must be immutable or cloned by the
 // caller.
@@ -101,6 +115,24 @@ func (t *Table[T]) Clone() Table[T] {
 	n := make([]T, len(t.slots))
 	copy(n, t.slots)
 	return Table[T]{slots: n}
+}
+
+// CloneCap is Clone with capacity for at least n slots: a caller about to
+// grow the copy to a known bound (a journal replay) allocates once instead
+// of cloning and then reallocating.
+func (t *Table[T]) CloneCap(n int) Table[T] {
+	if n < len(t.slots) {
+		n = len(t.slots)
+	}
+	if n > maxSlots {
+		n = maxSlots
+	}
+	if n == 0 {
+		return Table[T]{}
+	}
+	s := make([]T, len(t.slots), n)
+	copy(s, t.slots)
+	return Table[T]{slots: s}
 }
 
 // Len returns one past the highest slot ever grown to.
@@ -145,6 +177,16 @@ func (t *LineTable[T]) Set(l pmm.Line, v T) {
 	t.slots[l] = v
 }
 
+// Reserve pre-allocates capacity for lines [0, n); see Table.Reserve.
+func (t *LineTable[T]) Reserve(n int) {
+	if n <= cap(t.slots) || n > maxSlots {
+		return
+	}
+	s := make([]T, len(t.slots), n)
+	copy(s, t.slots)
+	t.slots = s
+}
+
 // Clone returns an independent flat copy; slot values are copied shallowly.
 func (t *LineTable[T]) Clone() LineTable[T] {
 	if len(t.slots) == 0 {
@@ -153,6 +195,22 @@ func (t *LineTable[T]) Clone() LineTable[T] {
 	n := make([]T, len(t.slots))
 	copy(n, t.slots)
 	return LineTable[T]{slots: n}
+}
+
+// CloneCap is Clone with capacity for at least n lines; see Table.CloneCap.
+func (t *LineTable[T]) CloneCap(n int) LineTable[T] {
+	if n < len(t.slots) {
+		n = len(t.slots)
+	}
+	if n > maxSlots {
+		n = maxSlots
+	}
+	if n == 0 {
+		return LineTable[T]{}
+	}
+	s := make([]T, len(t.slots), n)
+	copy(s, t.slots)
+	return LineTable[T]{slots: s}
 }
 
 // Len returns one past the highest slot ever grown to.

@@ -1,7 +1,7 @@
 // Package cliutil holds the run-configuration flags and pprof plumbing
 // shared by cmd/yashme and cmd/yashme-tables, so the two CLIs define the
-// workers/checkpoint/directrun/shard/json/tags/profile surface exactly
-// once and cannot drift.
+// workers/checkpoint/directrun/keyframe/dedup/shard/json/tags/profile
+// surface exactly once and cannot drift.
 package cliutil
 
 import (
@@ -22,6 +22,8 @@ type Flags struct {
 	Workers    int
 	Checkpoint bool
 	DirectRun  bool
+	Keyframe   int
+	Dedup      bool
 	Shard      string
 	JSON       bool
 	Tags       string
@@ -36,6 +38,8 @@ func Register() *Flags {
 	flag.IntVar(&f.Workers, "workers", 0, "shared scenario-worker budget (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	flag.BoolVar(&f.Checkpoint, "checkpoint", true, "model-check: resume crash scenarios from pre-crash snapshots (results identical; =false re-simulates every prefix)")
 	flag.BoolVar(&f.DirectRun, "directrun", true, "run a solo runnable thread inline without scheduler handoffs (results identical; =false pays the handshake on every op)")
+	flag.IntVar(&f.Keyframe, "keyframe", 0, "full-clone interval for delta checkpoints (0 = engine default, 1 = every snapshot a full clone; results identical)")
+	flag.BoolVar(&f.Dedup, "dedup", true, "model-check: reuse recovery verdicts of byte-identical crash images (results identical; =false re-simulates every point)")
 	flag.StringVar(&f.Shard, "shard", "", "run shard i/n of the suite (deterministic by benchmark name; union of shards == full run)")
 	flag.BoolVar(&f.JSON, "json", false, "emit the unified suite result as JSON instead of rendered output")
 	flag.StringVar(&f.Tags, "tags", "", "comma-separated workload tags to select (e.g. table3,pmdk; empty = all)")
@@ -55,11 +59,12 @@ func (f *Flags) SuiteConfig() (suite.Config, error) {
 		Shard:      shard,
 		ShardCount: count,
 		Workers:    f.Workers,
+		Keyframe:   f.Keyframe,
 	}
 	if f.Tags != "" {
 		cfg.Tags = strings.Split(f.Tags, ",")
 	}
-	f.applyModes(&cfg.Checkpoint, &cfg.DirectRun)
+	f.applyModes(&cfg.Checkpoint, &cfg.DirectRun, &cfg.Dedup)
 	return cfg, nil
 }
 
@@ -67,15 +72,19 @@ func (f *Flags) SuiteConfig() (suite.Config, error) {
 // engine run's options (cmd/yashme's single-benchmark path).
 func (f *Flags) EngineOptions(opts *engine.Options) {
 	opts.Workers = f.Workers
-	f.applyModes(&opts.Checkpoint, &opts.DirectRun)
+	opts.Keyframe = f.Keyframe
+	f.applyModes(&opts.Checkpoint, &opts.DirectRun, &opts.Dedup)
 }
 
-func (f *Flags) applyModes(ck *engine.CheckpointMode, dr *engine.DirectRunMode) {
+func (f *Flags) applyModes(ck *engine.CheckpointMode, dr *engine.DirectRunMode, dd *engine.DedupMode) {
 	if !f.Checkpoint {
 		*ck = engine.CheckpointOff
 	}
 	if !f.DirectRun {
 		*dr = engine.DirectRunOff
+	}
+	if !f.Dedup {
+		*dd = engine.DedupOff
 	}
 }
 

@@ -11,11 +11,13 @@ import (
 // taken against the original names the corresponding record in the clone and
 // no pointer remapping is needed.
 //
-// Sharing rules: StoreRecord clock vectors (CV) are shared with the original
-// because the TSO machine snapshots them at commit time and nothing mutates
-// them afterwards; everything else — arenas, per-address tables, per-line
-// state — is copied, so the clone and the original may be mutated
-// independently afterwards.
+// Sharing rules: the store arena is shared with the original as a capped
+// slice view — records (and their clock vectors) are immutable once
+// committed, their mutable side lives in the parallel meta slice, and the
+// capped capacity forces either side's later appends onto a private backing
+// array. Everything mutable — the meta slice, the flush arena, per-address
+// tables, per-line state — is copied, so the clone and the original may be
+// mutated independently afterwards.
 func (d *Detector) Clone() *Detector {
 	nd := &Detector{cfg: d.cfg, report: d.report.Clone()}
 	nd.execs = make([]*Execution, len(d.execs))
@@ -30,16 +32,31 @@ func (d *Detector) Clone() *Detector {
 // cloned detector at that heap's LabelFor.
 func (d *Detector) SetLabeler(l func(pmm.Addr) string) { d.cfg.Labeler = l }
 
-func (e *Execution) clone() *Execution {
+func (e *Execution) clone() *Execution { return e.cloneSized(0, 0, 0) }
+
+// cloneSized is clone with growth headroom for a pending journal replay:
+// the meta and flush arenas get capacity for the segment's appends and the
+// address-indexed tables get capacity up to its high-water address, so the
+// replay performs no reallocation (see Detector.CloneReplay). The store
+// arena needs no headroom — it is shared, and a replay extends the view
+// over the journal's frozen arena rather than appending. Zero sizes degrade
+// to a plain clone.
+func (e *Execution) cloneSized(stores, flushes int, maxAddr pmm.Addr) *Execution {
+	addrCap, lineCap := 0, 0
+	if maxAddr > 0 {
+		addrCap = int(maxAddr) + 1
+		lineCap = int(pmm.LineOf(maxAddr)) + 1
+	}
 	ne := &Execution{
 		ID:         e.ID,
-		arena:      append([]StoreRecord(nil), e.arena...),
-		flushArena: append([]flushNode(nil), e.flushArena...),
-		storeTab:   e.storeTab.Clone(),
-		lineAddrs:  e.lineAddrs.Clone(),
+		arena:      e.arena[:len(e.arena):len(e.arena)],
+		meta:       append(make([]recMeta, 0, len(e.meta)+stores), e.meta...),
+		flushArena: append(make([]flushNode, 0, len(e.flushArena)+flushes), e.flushArena...),
+		storeTab:   e.storeTab.CloneCap(addrCap),
+		lineAddrs:  e.lineAddrs.CloneCap(lineCap),
 		lastflush:  e.lastflush.Clone(),
 		cvpre:      e.cvpre.Clone(),
-		persistTab: e.persistTab.Clone(),
+		persistTab: e.persistTab.CloneCap(addrCap),
 		crashSeq:   e.crashSeq,
 	}
 	// The table clones are flat; detach the reference-typed slot values both

@@ -81,19 +81,27 @@ type StoreRecord struct {
 	CV      vclock.VC
 	Atomic  bool
 	Release bool
-	// Torn is set by the engine when a post-crash load actually observed
-	// this store as racing; used to synthesize torn values.
-	Torn bool
 
 	// ref is this record's own 1-based arena index.
 	ref StoreRef
 	// prevSameAddr chains to the previous store to the same address (the
 	// per-address history, newest to oldest).
 	prevSameAddr StoreRef
+}
+
+// recMeta is the post-commit-mutable state of one store record, held in a
+// slice parallel to the arena (recMeta[r-1] belongs to arena[r-1]) instead
+// of in StoreRecord itself. The split is what makes the arena immutable
+// once a record is committed — clone.go shares the arena between clones as
+// a capped slice view and copies only this slice.
+type recMeta struct {
 	// flushHead/flushTail delimit this store's flushmap chain in the
 	// execution's flush arena: the first flush per thread that happens-after
 	// this store (paper Figure 8, Evict_SB/Evict_FB).
 	flushHead, flushTail int32
+	// torn is set by the engine when a post-crash load actually observed
+	// this store as racing and synthesized a torn value from it.
+	torn bool
 }
 
 // Ref returns the record's stable identity within its execution.
@@ -116,8 +124,11 @@ type Execution struct {
 	ID int
 
 	// arena holds every committed store record in commit (σ) order;
-	// StoreRef r names arena[r-1].
+	// StoreRef r names arena[r-1]. Records are immutable once committed
+	// (their mutable side lives in meta), so clones share the arena.
 	arena []StoreRecord
+	// meta holds the mutable per-record state, parallel to the arena.
+	meta []recMeta
 	// flushArena backs the per-record flushmap chains.
 	flushArena []flushNode
 	// storeTab: latest committed store per address (storemap).
@@ -178,11 +189,18 @@ func (e *Execution) PersistLB(addr pmm.Addr) *StoreRecord { return e.ByRef(e.per
 // per thread that happens-after it.
 func (e *Execution) FlushesOf(s *StoreRecord) []FlushRef {
 	var out []FlushRef
-	for n := s.flushHead; n != 0; n = e.flushArena[n-1].next {
+	for n := e.meta[s.ref-1].flushHead; n != 0; n = e.flushArena[n-1].next {
 		out = append(out, e.flushArena[n-1].ref)
 	}
 	return out
 }
+
+// MarkTorn records that a post-crash load observed s as racing and
+// synthesized a torn value from it.
+func (e *Execution) MarkTorn(s *StoreRecord) { e.meta[s.ref-1].torn = true }
+
+// WasTorn reports whether a torn value was synthesized from s.
+func (e *Execution) WasTorn(s *StoreRecord) bool { return e.meta[s.ref-1].torn }
 
 // CrashSeq returns the σ at which this execution crashed (0 if running).
 func (e *Execution) CrashSeq() vclock.Seq { return e.crashSeq }
@@ -249,6 +267,10 @@ type Detector struct {
 	cfg    Config
 	execs  []*Execution
 	report *report.Set
+	// journal, when attached (SetJournal), records every mutation of the
+	// current execution so the engine's delta checkpoints can replay them
+	// (journal.go). Never inherited by clones.
+	journal *Journal
 }
 
 // New returns a detector with an initial (first pre-crash) execution.
@@ -289,11 +311,15 @@ func (d *Detector) StoreCommitted(rec *tso.CommittedStore) {
 		Atomic: rec.Atomic, Release: rec.Release,
 		ref: ref, prevSameAddr: prev,
 	})
+	e.meta = append(e.meta, recMeta{})
 	e.storeTab.Set(rec.Addr, ref)
 	if prev == 0 {
 		// First store to this address: register it on its cache line.
 		la := e.lineAddrs.Ptr(pmm.LineOf(rec.Addr))
 		*la = append(*la, rec.Addr)
+	}
+	if d.journal != nil {
+		d.journal.ops = append(d.journal.ops, JournalOp{Kind: JournalStore, Target: ref})
 	}
 }
 
@@ -332,7 +358,7 @@ func (d *Detector) applyFlush(line pmm.Line, coverCV vclock.VC, flushTID vclock.
 			continue // store did not happen-before the flush
 		}
 		already := false
-		for n := s.flushHead; n != 0; n = e.flushArena[n-1].next {
+		for n := e.meta[ref-1].flushHead; n != 0; n = e.flushArena[n-1].next {
 			f := e.flushArena[n-1].ref
 			if orderCV.Contains(f.TID, f.Seq) {
 				already = true // an earlier flush is ordered before this one
@@ -340,10 +366,17 @@ func (d *Detector) applyFlush(line pmm.Line, coverCV vclock.VC, flushTID vclock.
 			}
 		}
 		if !already {
-			e.addFlush(s, FlushRef{TID: flushTID, Seq: flushSeq})
+			fr := FlushRef{TID: flushTID, Seq: flushSeq}
+			e.addFlush(s, fr)
+			if d.journal != nil {
+				d.journal.ops = append(d.journal.ops, JournalOp{Kind: JournalFlush, Target: ref, Flush: fr})
+			}
 		}
 		if lb := e.ByRef(e.persistTab.At(a)); lb == nil || s.Seq > lb.Seq {
 			e.persistTab.Set(a, ref)
+			if d.journal != nil {
+				d.journal.ops = append(d.journal.ops, JournalOp{Kind: JournalPersist, Target: ref, Addr: a})
+			}
 		}
 	}
 }
@@ -352,12 +385,13 @@ func (d *Detector) applyFlush(line pmm.Line, coverCV vclock.VC, flushTID vclock.
 func (e *Execution) addFlush(s *StoreRecord, f FlushRef) {
 	e.flushArena = append(e.flushArena, flushNode{ref: f})
 	n := int32(len(e.flushArena))
-	if s.flushTail != 0 {
-		e.flushArena[s.flushTail-1].next = n
+	m := &e.meta[s.ref-1]
+	if m.flushTail != 0 {
+		e.flushArena[m.flushTail-1].next = n
 	} else {
-		s.flushHead = n
+		m.flushHead = n
 	}
-	s.flushTail = n
+	m.flushTail = n
 }
 
 var _ tso.Listener = (*Detector)(nil)
@@ -396,7 +430,7 @@ func (d *Detector) CheckCandidate(e *Execution, s *StoreRecord, guarded bool) *r
 		// Conditions 3–4 (explicit flushes): a recorded flush defeats the
 		// race only if it is inside the consistent prefix E+ (CVpre).
 		// Baseline mode accepts any flush that happened before the crash.
-		for n := s.flushHead; n != 0; n = e.flushArena[n-1].next {
+		for n := e.meta[s.ref-1].flushHead; n != 0; n = e.flushArena[n-1].next {
 			f := e.flushArena[n-1].ref
 			if !d.cfg.Prefix || e.cvpre.Contains(f.TID, f.Seq) {
 				return nil
@@ -414,7 +448,7 @@ func (d *Detector) CheckCandidate(e *Execution, s *StoreRecord, guarded bool) *r
 		StoreTID:  int(s.TID),
 		ExecID:    e.ID,
 		Benign:    guarded,
-		Flushed:   s.flushHead != 0,
+		Flushed:   e.meta[s.ref-1].flushHead != 0,
 	}
 	d.report.Add(r)
 	return &r

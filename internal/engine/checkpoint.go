@@ -5,21 +5,45 @@
 // prefix from scratch — O(C·n) simulated operations for an n-operation
 // workload, the dominant cost of a sweep. The checkpoint layer removes the
 // quadratic term: the planner's probe run (which already executes the full
-// schedule once to count its flush/fence points) captures a deep-cloned
-// snapshot at every crash point, and each scenario resumes from its point's
-// snapshot, simulating only the crash, the image derivation and the
-// post-crash recovery — O(n) + C·clone.
+// schedule once to count its flush/fence points) captures a snapshot at every
+// crash point, and each scenario resumes from its point's snapshot,
+// simulating only the crash, the image derivation and the post-crash
+// recovery — O(n) + C·capture.
+//
+// Capture itself is O(changes), not O(state): consecutive crash points of one
+// schedule differ by a handful of detector mutations, so only every K-th
+// snapshot (Options.Keyframe) is a full detector clone — a keyframe — and the
+// snapshots between are delta checkpoints: a reference to the previous
+// keyframe plus the boundaries of the probe's mutation-journal segment
+// (core.Journal) recorded since it. Resume materializes a delta by cloning
+// the keyframe's detector and replaying the segment — bit-equivalent to the
+// full clone a capture at that point would have taken, because journaling
+// covers every detector mutation a pre-crash execution can perform (see
+// core/journal.go). The other captured state is cheap without deltas: the
+// heap is an O(1) append-only view (pmm.Heap.Snapshot), the persisted image
+// is constant for the whole capture window (it is rebuilt only between
+// executions) so one clone per sink is shared by every snapshot, and the
+// scheduler rng copy is shared between consecutive points with no draws in
+// between (solo-threaded probes never draw, so one copy usually serves all).
+//
+// On top of the snapshots sits crash-image memoization (Options.Dedup): at
+// each probed point the sink serializes the image-determining state — heap
+// shape, persisted image, live threads, rng position, and the detector's
+// stores/flush-chains/persist-bounds (core.Execution.AppendStateSignature) —
+// and content-hashes it. A point whose serialized state is byte-identical to
+// an earlier point's (hash equality is only a filter; a full byte compare
+// confirms every match, so a collision can never change results) must yield
+// the same persisted image, the same recovery execution and the same races,
+// so the planner marks it a duplicate and the merge layer reuses the earlier
+// point's recorded verdict instead of re-simulating (explore.go).
 //
 // What a snapshot holds, and why:
 //
-//   - the persistent heap (pmm.Heap.Clone) and the detector with its report
-//     (core.Detector.Clone) — the full pre-crash analysis state;
-//   - the persisted image table. Image provenance names stores by (execution
-//     stack index, arena ref), both of which survive a detector clone
-//     unchanged, so capture and resume clone the table as-is — no pointer
-//     remapping. Candidate slices are immutable once stored (buildImage
-//     always assembles fresh ones), so the flat clone's shallow slot copies
-//     fully detach the snapshot;
+//   - the persistent heap (an O(1) capped view; see pmm.Heap.Snapshot) and
+//     the detector with its report — a full clone on keyframes, a
+//     {keyframe, journal segment} pair on deltas;
+//   - the persisted image table, shared per sink (constant per capture
+//     window); resume still clones it into scenario-private tables;
 //   - the trace recorder's event log, when tracing is on;
 //   - the scheduler rng: a copy of the generator state (or, when state
 //     mirroring is unavailable — see rngstate.go — a raw-draw count to
@@ -33,17 +57,21 @@
 //     tooling, not for this layer).
 //
 // Snapshots are read-only templates shared by every scenario of a schedule
-// (including concurrent workers): a resume clones the detector again, clones
-// the image table again, and copies the heap state and event log into scenario-
-// private objects. Nothing ever mutates a snapshot after capture.
+// (including concurrent workers): a resume clones the detector again (for a
+// delta: clones the keyframe and replays the journal, both read-only after
+// the probe seals the journal), clones the image table again, and copies the
+// heap state and event log into scenario-private objects. Nothing ever
+// mutates a snapshot after capture.
 //
 // The same mechanism handles the recursive cases: a primary scenario that
 // expands recovery crashes captures snapshots of its own recovery execution
-// (execution index 1) for the multi-crash follow-ups, and read-choice
+// (execution index 1) for the multi-crash follow-ups — always full clones,
+// since the journal records only pre-crash mutations — and read-choice
 // expansions resume from the first-crash snapshot with a persist override.
 package engine
 
 import (
+	"bytes"
 	"math/rand"
 
 	"yashme/internal/core"
@@ -61,7 +89,14 @@ import (
 // unavailable the stdlib source is kept and resumes fall back to
 // seed-and-skip via the draw count; results are byte-identical either way.
 type countingSource struct {
-	state    rngState
+	// state is the mirrored register, behind a pointer so copy-on-write
+	// forks allocate ~40 bytes instead of the ~5KB lagged-Fibonacci array.
+	// When cow is set, state points at a read-only donor (a snapshot's
+	// frozen rng) and the first mutation copies it; scenarios that never
+	// draw — every solo-threaded resume under a deterministic persist
+	// policy — skip the register copy entirely.
+	state    *rngState
+	cow      bool
 	mirrored bool
 	src      rand.Source   // fallback only
 	s64      rand.Source64 // nil if src lacks Uint64
@@ -71,8 +106,9 @@ type countingSource struct {
 func newCountingSource(seed int64) *countingSource {
 	src := rand.NewSource(seed)
 	cs := &countingSource{}
-	if extractRngState(src, &cs.state) {
-		cs.mirrored = true
+	st := new(rngState)
+	if extractRngState(src, st) {
+		cs.state, cs.mirrored = st, true
 		return cs
 	}
 	cs.src = src
@@ -82,19 +118,42 @@ func newCountingSource(seed int64) *countingSource {
 	return cs
 }
 
-// fork returns an independent copy positioned at the current stream point,
-// or nil when the state cannot be copied (nil source or mirror unavailable).
+// fork returns an independent eager copy positioned at the current stream
+// point, or nil when the state cannot be copied (nil source or mirror
+// unavailable).
 func (c *countingSource) fork() *countingSource {
 	if c == nil || !c.mirrored {
 		return nil
 	}
-	cp := *c
-	return &cp
+	st := new(rngState)
+	*st = *c.state
+	return &countingSource{state: st, mirrored: true, n: c.n}
+}
+
+// forkShared returns a copy-on-write fork positioned at the current stream
+// point: the register copy is deferred to the first draw. The receiver must
+// stay read-only for the fork's lifetime — it is only called on snapshot
+// rngs, which are frozen by the snapshot immutability contract.
+func (c *countingSource) forkShared() *countingSource {
+	if c == nil || !c.mirrored {
+		return nil
+	}
+	return &countingSource{state: c.state, cow: true, mirrored: true, n: c.n}
+}
+
+// materialize resolves a copy-on-write fork before its first mutation.
+func (c *countingSource) materialize() {
+	if c.cow {
+		st := new(rngState)
+		*st = *c.state
+		c.state, c.cow = st, false
+	}
 }
 
 func (c *countingSource) Int63() int64 {
 	c.n++
 	if c.mirrored {
+		c.materialize()
 		return c.state.Int63()
 	}
 	return c.src.Int63()
@@ -103,6 +162,7 @@ func (c *countingSource) Int63() int64 {
 func (c *countingSource) Uint64() uint64 {
 	if c.mirrored {
 		c.n++
+		c.materialize()
 		return c.state.Uint64()
 	}
 	if c.s64 != nil {
@@ -117,7 +177,10 @@ func (c *countingSource) Uint64() uint64 {
 
 func (c *countingSource) Seed(seed int64) {
 	if c.mirrored {
-		extractRngState(rand.NewSource(seed), &c.state)
+		if c.cow {
+			c.state, c.cow = new(rngState), false
+		}
+		extractRngState(rand.NewSource(seed), c.state)
 	} else {
 		c.src.Seed(seed)
 	}
@@ -127,6 +190,9 @@ func (c *countingSource) Seed(seed int64) {
 // skip advances the source by n raw draws (each Int63 call is one step for
 // every rand.NewSource implementation, with or without Source64).
 func (c *countingSource) skip(n uint64) {
+	if c.mirrored {
+		c.materialize()
+	}
 	for i := uint64(0); i < n; i++ {
 		if c.mirrored {
 			c.state.Uint64()
@@ -139,9 +205,14 @@ func (c *countingSource) skip(n uint64) {
 
 var _ rand.Source64 = (*countingSource)(nil)
 
-// snapshot is the cloned state of a scenario at one crash point: everything
-// a resume needs to continue as if it had simulated the prefix itself.
-// Snapshots are immutable after capture.
+// snapshotOverheadBytes is the accounted fixed cost of one snapshot shell
+// (the struct, the crash-point map, the heap view headers) on top of the
+// keyframe clone or journal segment it carries.
+const snapshotOverheadBytes = 256
+
+// snapshot is the captured state of a scenario at one crash point:
+// everything a resume needs to continue as if it had simulated the prefix
+// itself. Snapshots are immutable after capture.
 type snapshot struct {
 	seed    int64
 	execIdx int
@@ -154,25 +225,58 @@ type snapshot struct {
 	// is unavailable); rngDraws is the stream position for the seed-and-skip
 	// fallback. unwind is the number of still-live threads minus one, each of
 	// which costs the scheduler one bounded draw while the crash unwinds them.
+	// The rng copy may be shared with neighboring snapshots (no draws between
+	// them); it is read-only — resume forks it again.
 	rng      *countingSource
 	rngDraws uint64
 	unwind   int
-	// stats is the scenario's operation counts at the point, with
-	// SimulatedOps (and its Handoffs/DirectOps split) zeroed: a resumed
+	// stats is the scenario's operation counts at the point, with the
+	// mode-dependent cost counters (SimulatedOps and its Handoffs/DirectOps
+	// split, SnapshotBytes, JournalOps, DedupedScenarios) zeroed: a resumed
 	// scenario inherits the prefix's per-kind counts but only counts the
-	// operations it actually simulates.
+	// work it actually performs.
 	stats       Stats
 	crashPoints map[int]int
 	heap        *pmm.Heap
-	det         *core.Detector
-	rec         *trace.Recorder // nil unless tracing
-	image       imageTable
+	// det is the full detector clone — set on keyframes (and every snapshot
+	// of a non-delta sink), nil on delta snapshots.
+	det *core.Detector
+	// base/journal/jMark describe a delta snapshot: the detector state is
+	// base.det (the previous keyframe) plus journal ops [base.jMark, jMark).
+	// materializeDetector rebuilds the full clone on resume.
+	base    *snapshot
+	journal *core.Journal
+	jMark   int
+	rec     *trace.Recorder // nil unless tracing
+	image   imageTable
+	// setupAllocs/setupNext fingerprint the heap right after Setup.
 	setupAllocs int
 	setupNext   pmm.Addr
 }
 
+// materializeDetector rebuilds the full detector state at the snapshot's
+// point. Safe for concurrent use by several resuming workers: the keyframe
+// detector and the sealed journal are read-only, and the replay appends
+// only into the fresh clone's detached arenas and tables.
+func (snap *snapshot) materializeDetector() *core.Detector {
+	if snap.base == nil {
+		return snap.det.Clone()
+	}
+	return snap.base.det.CloneReplay(snap.journal, snap.base.jMark, snap.jMark)
+}
+
+// sigClass is one equivalence class of crash points under the state
+// signature: the first point seen with these exact bytes represents every
+// later match.
+type sigClass struct {
+	point int
+	sig   []byte
+}
+
 // snapshotSink collects the snapshots of one watched execution, keyed by
-// crash point.
+// crash point. All sink state is touched only by the probing scenario's
+// goroutine during the capture window; afterwards it is read-only and may
+// be shared across workers.
 type snapshotSink struct {
 	// execIdx is the execution index the sink watches (0 = pre-crash
 	// workload, 1 = the first recovery run).
@@ -181,10 +285,80 @@ type snapshotSink struct {
 	// RecoveryCrashes so unexplored points cost nothing.
 	max   int
 	snaps map[int]*snapshot
+
+	// Delta capture (configureProbe): keyframe is the full-clone interval
+	// (0 = deltas disabled, every capture a full clone), journal the
+	// mutation journal attached to the probed detector, lastKey the current
+	// keyframe and sinceKey the snapshots taken since it (inclusive).
+	keyframe int
+	journal  *core.Journal
+	lastKey  *snapshot
+	sinceKey int
+
+	// Per-sink shared captures: the persisted image is constant during one
+	// execution's capture window (it is rebuilt only between executions),
+	// so the first capture clones it once for every snapshot; the rng copy
+	// is shared between consecutive points with no draws in between.
+	image      imageTable
+	imageTaken bool
+	lastRng    *countingSource
+	lastRngN   uint64
+
+	// Crash-image memoization (configureProbe): sigs maps a state-signature
+	// hash to its equivalence classes (full bytes kept for the mandatory
+	// collision-confirming compare); dups maps a duplicate point to its
+	// class representative's point.
+	dedup  bool
+	sigBuf []byte
+	sigs   map[uint64][]*sigClass
+	dups   map[int]int
 }
 
 func newSnapshotSink(execIdx, max int) *snapshotSink {
 	return &snapshotSink{execIdx: execIdx, max: max, snaps: make(map[int]*snapshot)}
+}
+
+// dedupEnabled reports whether crash-image memoization is sound and active
+// for the run: the expansions that consume live per-scenario state
+// (read-choice frontiers, recovery-crash probing) and the trace recorder
+// (whose event log legitimately differs between equivalent points) disable
+// it; every plain ModelCheck sweep — any persist policy, EADR, torn values,
+// suppression — keeps it.
+func dedupEnabled(opts Options) bool {
+	return opts.Mode == ModelCheck &&
+		opts.Checkpoint == CheckpointOn &&
+		opts.Dedup == DedupOn &&
+		!opts.Trace &&
+		!opts.ExploreReads &&
+		opts.RecoveryCrashes == 0
+}
+
+// configureProbe arms delta capture and memoization on an exec-0 probe
+// sink, per the options. Recovery sinks (execIdx 1) keep plain full-clone
+// capture: their window spans post-crash mutations (lastflush/CVpre joins,
+// report adds) the journal does not record.
+func (k *snapshotSink) configureProbe(opts Options, det *core.Detector) {
+	if opts.Keyframe > 1 {
+		k.keyframe = opts.Keyframe
+		k.journal = &core.Journal{}
+		det.SetJournal(k.journal)
+	}
+	if dedupEnabled(opts) {
+		k.dedup = true
+		k.sigs = make(map[uint64][]*sigClass)
+		k.dups = make(map[int]int)
+	}
+}
+
+// seal closes the capture window: the journal is detached from the detector
+// before the recovery execution starts, so post-crash appends can never
+// pollute the recorded segments, and its length is accounted.
+func (k *snapshotSink) seal(sc *scenario) {
+	if k.journal == nil {
+		return
+	}
+	sc.det.SetJournal(nil)
+	sc.stats.JournalOps += int64(k.journal.Len())
 }
 
 // observe captures the current flush/fence point (called from atCrashPoint).
@@ -193,33 +367,87 @@ func (k *snapshotSink) observe(sc *scenario) {
 	if k.max > 0 && p > k.max {
 		return
 	}
-	k.snaps[p] = captureSnapshot(sc, p)
+	k.snaps[p] = k.capture(sc, p)
+	if k.dedup {
+		k.classify(sc, p)
+	}
 }
 
-// take captures an explicit point (the completion snapshot, point 0).
+// take captures an explicit point — the completion snapshot, point 0. It is
+// never classified for memoization: point 0 is captured last but explored
+// first (spec index order), so a duplicate there would precede its
+// representative in the merge.
 func (k *snapshotSink) take(sc *scenario, point int) {
-	k.snaps[point] = captureSnapshot(sc, point)
+	k.snaps[point] = k.capture(sc, point)
 }
 
-func captureSnapshot(sc *scenario, point int) *snapshot {
+// capture records one snapshot: the cheap shell plus either a keyframe
+// (full detector clone) or a delta (journal segment boundaries against the
+// previous keyframe). Retained bytes are accounted into the capturing
+// scenario's stats as they are taken.
+func (k *snapshotSink) capture(sc *scenario, point int) *snapshot {
+	snap := newSnapshotShell(sc, point)
+	if !k.imageTaken {
+		k.image = sc.image.clone()
+		k.imageTaken = true
+		sc.stats.SnapshotBytes += k.image.footprintBytes()
+	}
+	snap.image = k.image
+	// The scheduler rng is a pure function of (seed, draw count), so
+	// consecutive snapshots with no draws in between share one forked copy —
+	// a solo-threaded probe never draws, so one copy serves every point.
+	if k.lastRng != nil && k.lastRngN == sc.rngSrc.n {
+		snap.rng = k.lastRng
+	} else {
+		snap.rng = k.lastRng.forkOrNil(sc.rngSrc)
+		k.lastRng, k.lastRngN = snap.rng, sc.rngSrc.n
+		sc.stats.SnapshotBytes += rngCopyBytes
+	}
+	if k.journal != nil {
+		snap.jMark = k.journal.Mark()
+	}
+	if k.journal == nil || k.lastKey == nil || k.sinceKey >= k.keyframe {
+		snap.det = sc.det.Clone()
+		k.lastKey, k.sinceKey = snap, 1
+		sc.stats.SnapshotBytes += snap.det.FootprintBytes() + snapshotOverheadBytes
+	} else {
+		snap.base, snap.journal = k.lastKey, k.journal
+		k.sinceKey++
+		sc.stats.SnapshotBytes += int64(snap.jMark-snap.base.jMark)*core.JournalOpBytes + snapshotOverheadBytes
+	}
+	return snap
+}
+
+// rngCopyBytes is the accounted size of one forked countingSource (the
+// mirrored lagged-Fibonacci register dominates).
+const rngCopyBytes = 4880
+
+// forkOrNil forks src (ignoring the receiver); the method form keeps the
+// shared-copy call site above readable when lastRng is nil.
+func (*countingSource) forkOrNil(src *countingSource) *countingSource { return src.fork() }
+
+// newSnapshotShell captures the cheap per-point state every snapshot needs
+// regardless of capture mode: identity, rng position, stats prefix, crash
+// bookkeeping, the O(1) heap view, and the trace log when tracing.
+func newSnapshotShell(sc *scenario, point int) *snapshot {
 	snap := &snapshot{
 		seed:        sc.seed,
 		execIdx:     sc.execIdx,
 		point:       point,
 		crashSeq:    sc.machine.CurSeq(),
-		rng:         sc.rngSrc.fork(),
 		rngDraws:    sc.rngSrc.n,
 		stats:       sc.stats,
 		crashPoints: make(map[int]int, len(sc.crashPoints)),
-		heap:        sc.heap.Clone(),
-		det:         sc.det.Clone(),
-		image:       sc.image.clone(),
+		heap:        sc.heap.Snapshot(),
 		setupAllocs: sc.setupAllocs,
 		setupNext:   sc.setupNext,
 	}
 	snap.stats.SimulatedOps = 0
 	snap.stats.Handoffs = 0
 	snap.stats.DirectOps = 0
+	snap.stats.SnapshotBytes = 0
+	snap.stats.JournalOps = 0
+	snap.stats.DedupedScenarios = 0
 	for k, v := range sc.crashPoints {
 		snap.crashPoints[k] = v
 	}
@@ -232,6 +460,77 @@ func captureSnapshot(sc *scenario, point int) *snapshot {
 		snap.rec = sc.recorder.Clone(nil, nil)
 	}
 	return snap
+}
+
+// captureSnapshot is a standalone full capture — what a keyframe costs.
+// The sink's capture path above shares the image and rng per sink and emits
+// deltas between keyframes; this entry point remains for benchmarks and as
+// the reference capture.
+func captureSnapshot(sc *scenario, point int) *snapshot {
+	snap := newSnapshotShell(sc, point)
+	snap.rng = sc.rngSrc.fork()
+	snap.det = sc.det.Clone()
+	snap.image = sc.image.clone()
+	return snap
+}
+
+// classify serializes the probe's image-determining state at the point and
+// files it into the signature classes: a byte-identical earlier point makes
+// this one a duplicate. The serialized state is exactly what the resumed
+// scenario's behavior is a function of — the heap shape (Setup fingerprint
+// plus allocations and init writes, which within one probe run are fully
+// determined by their counts: the run appends deterministically), the
+// persisted image, the live-thread count (the crash-unwind draws), the rng
+// position (the scheduler and persist-point draws to come), and the
+// detector execution state (AppendStateSignature). Equal bytes therefore
+// imply an identical image derivation, an identical recovery execution and
+// identical race verdicts; the hash only routes to candidates, and
+// bytes.Equal confirms every match, so a hash collision can never merge two
+// distinct states.
+func (k *snapshotSink) classify(sc *scenario, point int) {
+	buf := k.sigBuf[:0]
+	buf = sigU64(buf, uint64(sc.heap.AllocCount()))
+	buf = sigU64(buf, uint64(sc.heap.NextFree()))
+	buf = sigU64(buf, uint64(len(sc.heap.InitWrites())))
+	buf = sigU64(buf, uint64(sc.liveThreads))
+	buf = sigU64(buf, sc.rngSrc.n)
+	buf = sc.image.appendSignature(buf)
+	buf = sc.det.Current().AppendStateSignature(buf)
+	k.sigBuf = buf
+	k.file(point, fnv64a(buf), buf)
+}
+
+// file places a point's signature into the classes under hash h: an earlier
+// class with byte-identical signature makes the point a duplicate of that
+// class's representative; same hash with different bytes is a genuine
+// collision and records a distinct class, never a duplicate. The hash is a
+// parameter (rather than derived here) so tests can force collisions.
+func (k *snapshotSink) file(point int, h uint64, buf []byte) {
+	for _, c := range k.sigs[h] {
+		if bytes.Equal(c.sig, buf) {
+			k.dups[point] = c.point
+			return
+		}
+	}
+	k.sigs[h] = append(k.sigs[h], &sigClass{point: point, sig: append([]byte(nil), buf...)})
+}
+
+// sigU64 serializes v little-endian into the signature buffer.
+func sigU64(buf []byte, v uint64) []byte {
+	return append(buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// fnv64a is the FNV-1a hash of b (inlined to keep the per-point path free
+// of hash.Hash allocations).
+func fnv64a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // resumeScenario builds a scenario positioned exactly where a from-scratch
@@ -258,9 +557,9 @@ func resumeScenario(makeProg func() pmm.Program, opts Options, snap *snapshot, p
 	if opts.EADR {
 		persist = PersistLatest
 	}
-	det := snap.det.Clone()
+	det := snap.materializeDetector()
 	det.SetLabeler(heap.LabelFor)
-	src := snap.rng.fork()
+	src := snap.rng.forkShared()
 	if src == nil {
 		src = newCountingSource(snap.seed)
 		src.skip(snap.rngDraws)

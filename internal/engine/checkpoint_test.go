@@ -52,11 +52,15 @@ func TestCheckpointMatchesScratch(t *testing.T) {
 				onStats, offStats := on.Stats, off.Stats
 				onSim, offSim := onStats.SimulatedOps, offStats.SimulatedOps
 				// SimulatedOps — and its Handoffs/DirectOps split — counts
-				// work done, which checkpointing exists to reduce; everything
-				// else must match exactly.
+				// work done, which checkpointing exists to reduce, and the
+				// capture/memoization counters only exist with snapshots
+				// on; everything else must match exactly.
 				onStats.SimulatedOps, offStats.SimulatedOps = 0, 0
 				onStats.Handoffs, offStats.Handoffs = 0, 0
 				onStats.DirectOps, offStats.DirectOps = 0, 0
+				onStats.SnapshotBytes, offStats.SnapshotBytes = 0, 0
+				onStats.JournalOps, offStats.JournalOps = 0, 0
+				onStats.DedupedScenarios, offStats.DedupedScenarios = 0, 0
 				if onStats != offStats {
 					t.Fatalf("seed %d: stats diverge:\non:  %+v\noff: %+v", seed, onStats, offStats)
 				}

@@ -104,6 +104,40 @@ const (
 	DirectRunOff
 )
 
+// DedupMode selects whether ModelCheck exploration memoizes equivalent
+// crash scenarios (checkpoint.go): during the probe, every crash point's
+// image-determining state — heap shape, detector stores/flushes/persist
+// bounds, scheduler rng position, live threads — is content-hashed, and a
+// point whose state is byte-identical (hash equality is always confirmed
+// by a full byte compare; a collision can never change results) to an
+// earlier point of the same schedule reuses that point's recorded recovery
+// verdict and races instead of re-simulating. Adjacent points with no
+// stores between them — the pre-clwb/pre-sfence pairs every flush idiom
+// produces — collapse this way. The zero value is on; DedupOff re-simulates
+// every scenario (the escape hatch, and the baseline the equivalence tests
+// compare against). Results are byte-identical either way; only
+// Stats.SimulatedOps/Handoffs/DirectOps (work not done) and the new
+// DedupedScenarios counter differ.
+type DedupMode int
+
+const (
+	// DedupOn reuses recovery verdicts of byte-identical crash points
+	// (default).
+	DedupOn DedupMode = iota
+	// DedupOff re-simulates every crash scenario.
+	DedupOff
+)
+
+// DefaultKeyframe is the Options.Keyframe applied when the field is zero:
+// with checkpointing on, every K-th snapshot is a full detector clone (a
+// keyframe) and the snapshots between are delta checkpoints — a reference
+// to the previous keyframe plus the probe's mutation-journal segment,
+// materialized on resume by replaying the segment onto a keyframe clone.
+// Capture cost drops from O(state) to O(changes) per crash point; resume
+// pays at most K-1 extra segment replays. Keyframe=1 makes every snapshot
+// a full clone (the pre-delta behavior).
+const DefaultKeyframe = 8
+
 // DefaultMaxOps is the Options.MaxOps applied when the field is zero: the
 // per-execution simulated-operation bound that turns a runaway workload
 // (typically an unbounded spin loop) into a diagnostic panic instead of a
@@ -184,6 +218,13 @@ type Options struct {
 	// DirectRunOn; see DirectRunMode). Results are byte-identical in both
 	// modes.
 	DirectRun DirectRunMode
+	// Keyframe is the full-clone interval of the checkpoint layer's delta
+	// snapshots (0 = DefaultKeyframe; 1 = every snapshot a full clone).
+	// Results are byte-identical for every value.
+	Keyframe int
+	// Dedup controls crash-scenario memoization in ModelCheck (default
+	// DedupOn; see DedupMode). Results are byte-identical in both modes.
+	Dedup DedupMode
 	// MaxOps bounds the simulated operations of one execution (0 =
 	// DefaultMaxOps); exceeding it panics with a diagnostic.
 	MaxOps int
@@ -224,6 +265,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxOps <= 0 {
 		o.MaxOps = DefaultMaxOps
 	}
+	if o.Keyframe <= 0 {
+		o.Keyframe = DefaultKeyframe
+	}
 	return o
 }
 
@@ -258,6 +302,19 @@ type Stats struct {
 	// DirectOps counts simulated operations that ran under a direct-run
 	// lease, with no handoff.
 	DirectOps int64 `json:"direct_ops"`
+	// SnapshotBytes estimates the bytes retained by checkpoint captures
+	// (keyframe clones, journal segments, the per-schedule shared image and
+	// rng copies). Like SimulatedOps it measures cost, not workload
+	// behavior, so it varies with Checkpoint/Keyframe while the per-kind
+	// counters do not.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// JournalOps counts the detector mutations recorded into delta-
+	// checkpoint journals across probe runs.
+	JournalOps int64 `json:"journal_ops"`
+	// DedupedScenarios counts crash scenarios whose recovery verdict was
+	// reused from a byte-identical earlier crash point instead of being
+	// re-simulated (DedupMode).
+	DedupedScenarios int64 `json:"deduped_scenarios"`
 }
 
 func (s *Stats) add(o Stats) {
@@ -269,6 +326,9 @@ func (s *Stats) add(o Stats) {
 	s.SimulatedOps += o.SimulatedOps
 	s.Handoffs += o.Handoffs
 	s.DirectOps += o.DirectOps
+	s.SnapshotBytes += o.SnapshotBytes
+	s.JournalOps += o.JournalOps
+	s.DedupedScenarios += o.DedupedScenarios
 }
 
 // PointStat records how many distinct races the scenarios crashing before

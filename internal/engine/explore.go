@@ -69,6 +69,16 @@ type scenarioSpec struct {
 	// window marks specs that contribute a PointStat to Result.Window
 	// (first model-check schedule only).
 	window bool
+	// dedupOf, when non-zero, marks the spec a duplicate under crash-image
+	// memoization: its captured state is byte-identical to an earlier
+	// point's (checkpoint.go), so instead of running, its result is
+	// synthesized from the spec at index dedupOf-1 (the representative with
+	// the same persist policy). The encoding reserves 0 for "not a
+	// duplicate" so the zero-value spec stays valid.
+	dedupOf int
+	// retain marks specs whose results later duplicates synthesize from;
+	// the merge layer keeps them after folding.
+	retain bool
 }
 
 // specResult is the outcome of one spec: a private report set plus the
@@ -99,6 +109,11 @@ type planSummary struct {
 	simulatedOps int64
 	handoffs     int64
 	directOps    int64
+	// snapshotBytes/journalOps carry the probes' checkpoint-capture costs
+	// (the probe is where snapshots are taken); folded into Result.Stats
+	// the same way.
+	snapshotBytes int64
+	journalOps    int64
 	// panicked carries a probe-run panic.
 	panicked any
 }
@@ -113,12 +128,26 @@ type planSummary struct {
 func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 	workers := opts.Workers
 	if workers == 1 {
+		var done map[int]*specResult
 		sum := planSpecs(makeProg, opts, func(spec scenarioSpec) {
+			if spec.dedupOf > 0 {
+				// Duplicate crash point: reuse the representative's verdict
+				// instead of simulating. The representative has a lower
+				// index, so it has already run and been retained.
+				res.mergeSpec(synthesizeDedup(done[spec.dedupOf-1], spec))
+				return
+			}
 			opts.Budget.Acquire()
 			r := runSpec(makeProg, opts, spec)
 			opts.Budget.Release()
 			if r.panicked != nil {
 				panic(r.panicked)
+			}
+			if spec.retain {
+				if done == nil {
+					done = make(map[int]*specResult)
+				}
+				done[spec.idx] = r
 			}
 			res.mergeSpec(r)
 		})
@@ -126,6 +155,8 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 		res.Stats.SimulatedOps += sum.simulatedOps
 		res.Stats.Handoffs += sum.handoffs
 		res.Stats.DirectOps += sum.directOps
+		res.Stats.SnapshotBytes += sum.snapshotBytes
+		res.Stats.JournalOps += sum.journalOps
 		return
 	}
 	specCh := make(chan scenarioSpec, workers)
@@ -153,6 +184,14 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 		go func() {
 			defer wg.Done()
 			for spec := range specCh {
+				if spec.dedupOf > 0 {
+					// Duplicate crash point: nothing to simulate — the
+					// merge layer synthesizes the result from the retained
+					// representative (which it holds; workers do not). No
+					// budget token: the placeholder costs nothing.
+					resCh <- &specResult{spec: spec}
+					continue
+				}
 				// The token covers only the simulation, not the send:
 				// a blocked merge can never starve other Runs sharing
 				// the budget.
@@ -173,6 +212,7 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 	var specPanic any
 	specPanicIdx := -1
 	pending := make(map[int]*specResult)
+	var done map[int]*specResult
 	next := 0
 	for r := range resCh {
 		pending[r.spec.idx] = r
@@ -183,6 +223,19 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 			}
 			delete(pending, next)
 			next++
+			if rr.spec.dedupOf > 0 {
+				// The representative's index is lower, so it was folded —
+				// and retained — before this placeholder came up.
+				rr = synthesizeDedup(done[rr.spec.dedupOf-1], rr.spec)
+			}
+			if rr.spec.retain {
+				// Retained even when panicked, so a later duplicate finds
+				// it and inherits the panic instead of dereferencing nil.
+				if done == nil {
+					done = make(map[int]*specResult)
+				}
+				done[rr.spec.idx] = rr
+			}
 			if rr.panicked != nil {
 				if specPanicIdx < 0 {
 					specPanic, specPanicIdx = rr.panicked, rr.spec.idx
@@ -207,6 +260,45 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 	res.Stats.SimulatedOps += sum.simulatedOps
 	res.Stats.Handoffs += sum.handoffs
 	res.Stats.DirectOps += sum.directOps
+	res.Stats.SnapshotBytes += sum.snapshotBytes
+	res.Stats.JournalOps += sum.journalOps
+}
+
+// synthesizeDedup builds the result a duplicate spec would have produced,
+// from its representative's retained result. Soundness: the duplicate's
+// captured state is byte-identical to the representative's (checkpoint.go
+// confirms every match with a full compare), so resuming it would replay
+// the exact same image derivation, recovery execution and race verdicts —
+// the report set, execution count and window contribution are the
+// representative's, shared (Set.Merge never mutates its argument, and its
+// fold produces the same bytes a private equal copy would). The per-kind
+// operation counts differ only in the pre-crash prefix, which both specs
+// carry in their snapshots: duplicate = own prefix + (representative total
+// − representative prefix). The cost counters are zeroed — nothing was
+// simulated, captured or journaled for this spec — and DedupedScenarios
+// records the skip.
+func synthesizeDedup(rep *specResult, spec scenarioSpec) *specResult {
+	out := &specResult{
+		spec:        spec,
+		report:      rep.report,
+		executions:  rep.executions,
+		windowRaces: rep.windowRaces,
+		panicked:    rep.panicked,
+	}
+	q, p := spec.snap.stats, rep.spec.snap.stats
+	out.stats = q
+	out.stats.Stores += rep.stats.Stores - p.Stores
+	out.stats.Loads += rep.stats.Loads - p.Loads
+	out.stats.Flushes += rep.stats.Flushes - p.Flushes
+	out.stats.Fences += rep.stats.Fences - p.Fences
+	out.stats.RMWs += rep.stats.RMWs - p.RMWs
+	out.stats.SimulatedOps = 0
+	out.stats.Handoffs = 0
+	out.stats.DirectOps = 0
+	out.stats.SnapshotBytes = 0
+	out.stats.JournalOps = 0
+	out.stats.DedupedScenarios = 1
+	return out
 }
 
 // mergeSpec folds one spec outcome into the Result. Called in spec-index
@@ -257,6 +349,7 @@ func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenari
 		var sink *snapshotSink
 		if opts.Checkpoint == CheckpointOn {
 			sink = newSnapshotSink(0, opts.MaxCrashPoints)
+			sink.configureProbe(opts, probe.det)
 			probe.capture = sink
 		}
 		opts.Budget.Acquire()
@@ -265,6 +358,8 @@ func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenari
 		sum.simulatedOps += probe.stats.SimulatedOps
 		sum.handoffs += probe.stats.Handoffs
 		sum.directOps += probe.stats.DirectOps
+		sum.snapshotBytes += probe.stats.SnapshotBytes
+		sum.journalOps += probe.stats.JournalOps
 		n := probe.crashPoints[0]
 		if sched == 0 {
 			sum.crashPoints = n
@@ -273,13 +368,36 @@ func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenari
 		if opts.MaxCrashPoints > 0 && limit > opts.MaxCrashPoints {
 			limit = opts.MaxCrashPoints
 		}
+		// Crash-image memoization: repPoints marks the points at least one
+		// duplicate maps to (their specs are retained for synthesis),
+		// firstIdx records the first spec index of each such point as it is
+		// emitted. Points ascend, and a duplicate's representative is always
+		// an earlier point, so firstIdx is populated before it is needed.
+		var repPoints map[int]bool
+		var firstIdx map[int]int
+		if sink != nil && len(sink.dups) > 0 {
+			repPoints = make(map[int]bool, len(sink.dups))
+			firstIdx = make(map[int]int, len(sink.dups))
+			for _, rp := range sink.dups {
+				repPoints[rp] = true
+			}
+		}
 		for c := 0; c <= limit; c++ {
 			var snap *snapshot
 			if sink != nil {
 				snap = sink.snaps[c]
 			}
+			dedupBase := 0
+			if repPoints != nil {
+				if repPoints[c] {
+					firstIdx[c] = idx
+				}
+				if rp, ok := sink.dups[c]; ok && snap != nil && sink.snaps[rp] != nil {
+					dedupBase = firstIdx[rp] + 1
+				}
+			}
 			for ppIdx, pp := range opts.PersistPolicies {
-				emit(scenarioSpec{
+				spec := scenarioSpec{
 					idx:            idx,
 					scheduleIdx:    sched,
 					crashPoint:     c,
@@ -290,7 +408,15 @@ func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenari
 					exploreReads:   opts.ExploreReads && ppIdx == 0,
 					expandRecovery: opts.RecoveryCrashes > 0,
 					window:         sched == 0,
-				})
+					retain:         repPoints != nil && repPoints[c],
+				}
+				if dedupBase > 0 {
+					// Map to the representative spec with the same persist
+					// policy: policies fan out in the same order at every
+					// point, so the offsets line up.
+					spec.dedupOf = dedupBase + ppIdx
+				}
+				emit(spec)
 				idx++
 			}
 		}

@@ -123,6 +123,49 @@ func (t *imageTable) forEach(f func(pmm.Addr, *imageEntry)) {
 	}
 }
 
+// reserve pre-sizes the table for addresses [0, addrBound) and up to
+// entries additional entries, so an ascending fill allocates once.
+func (t *imageTable) reserve(addrBound, entries int) {
+	t.idx.Reserve(addrBound)
+	if need := len(t.entries) + entries; need > cap(t.entries) {
+		s := make([]imageEntry, len(t.entries), need)
+		copy(s, t.entries)
+		t.entries = s
+	}
+}
+
+// imageEntryBytes is the accounted retained size of one image entry plus its
+// index slot, for Stats.SnapshotBytes (fixed for platform stability).
+const imageEntryBytes = 72
+
+// footprintBytes estimates the retained size of one table clone.
+func (t *imageTable) footprintBytes() int64 {
+	return int64(len(t.entries))*imageEntryBytes + int64(t.idx.Len())*4
+}
+
+// appendSignature serializes the image content into the crash-point state
+// signature: per present address (ascending) the committed value, size,
+// chosen provenance, pre-image value and candidate set. Positional refs over
+// the run's append-only arenas make equal serializations name equal stores
+// within one probe run.
+func (t *imageTable) appendSignature(buf []byte) []byte {
+	buf = sigU64(buf, uint64(len(t.entries)))
+	t.forEach(func(a pmm.Addr, e *imageEntry) {
+		buf = sigU64(buf, uint64(a))
+		buf = sigU64(buf, e.val)
+		buf = sigU64(buf, uint64(e.size))
+		buf = sigU64(buf, uint64(e.chosen.exec))
+		buf = sigU64(buf, uint64(e.chosen.ref))
+		buf = sigU64(buf, e.prevVal)
+		buf = sigU64(buf, uint64(len(e.candidates)))
+		for _, c := range e.candidates {
+			buf = sigU64(buf, uint64(c.exec))
+			buf = sigU64(buf, uint64(c.ref))
+		}
+	})
+	return buf
+}
+
 // scenario runs one crash plan end to end.
 type scenario struct {
 	opts     Options
@@ -231,10 +274,16 @@ func newScenario(makeProg func() pmm.Program, opts Options, p plan, persist Pers
 func (sc *scenario) run() {
 	sc.startMachine()
 	sc.runExecution(sc.prog.Workers)
-	if sc.capture != nil && sc.capture.execIdx == 0 && sc.execIdx == 0 && !sc.crashed {
-		// Completion snapshot (crash point 0): the pre-crash execution ran
-		// to the end; the final power loss is simulated by finish.
-		sc.capture.take(sc, 0)
+	if sc.capture != nil && sc.capture.execIdx == 0 && sc.execIdx == 0 {
+		if !sc.crashed {
+			// Completion snapshot (crash point 0): the pre-crash execution
+			// ran to the end; the final power loss is simulated by finish.
+			sc.capture.take(sc, 0)
+		}
+		// The capture window ends with the pre-crash execution: detach the
+		// journal before recovery runs so post-crash detector mutations can
+		// never pollute the recorded delta segments.
+		sc.capture.seal(sc)
 	}
 	sc.finish(sc.machine.CurSeq())
 }
@@ -289,6 +338,9 @@ func (sc *scenario) startMachine() {
 		listener = sc.recorder
 	}
 	sc.machine = tso.NewMachine(listener)
+	// The seed loop ascends; pre-sizing to the image's address bound makes
+	// it one allocation (later stores to fresh allocations grow as usual).
+	sc.machine.ReserveMemory(sc.image.idx.Len())
 	sc.image.forEach(func(addr pmm.Addr, e *imageEntry) {
 		sc.machine.SeedMemory(addr, e.size, e.val)
 	})
@@ -498,6 +550,12 @@ func (sc *scenario) buildImage() {
 	// keeps the walk allocation-free across executions.
 	sc.addrScratch = e.AppendStoredAddrs(sc.addrScratch[:0])
 	addrs := sc.addrScratch
+	// The fill below touches those addresses ascending; pre-sizing the
+	// image table to the stored-address bound and count turns the
+	// geometric growth into one allocation each.
+	if len(addrs) > 0 {
+		sc.image.reserve(int(addrs[len(addrs)-1])+1, len(addrs))
+	}
 	for start := 0; start < len(addrs); {
 		line := pmm.LineOf(addrs[start])
 		end := start + 1
@@ -631,7 +689,7 @@ func (sc *scenario) resolvePostCrashLoad(tid vclock.TID, addr pmm.Addr, size int
 	val := entry.val
 	if sc.opts.TornValues && chosenRaced && !guarded && chosenStore != nil && chosenStore.Size > 1 {
 		val = tornValue(entry.prevVal, chosenStore.Val, chosenStore.Size)
-		chosenStore.Torn = true
+		sc.execOf(entry.chosen).MarkTorn(chosenStore)
 	}
 	if sc.recorder != nil && chosenStore != nil {
 		sc.recorder.Observe(tid, addr, truncVal(val, size), int(entry.chosen.exec), chosenStore.Seq, guarded)

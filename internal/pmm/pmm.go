@@ -190,6 +190,21 @@ func (h *Heap) Clone() *Heap {
 	}
 }
 
+// Snapshot returns an O(1) read-only view of the heap's current state,
+// valid as a Restore source: the allocation and init-write slices are the
+// heap's own journal — append-only, with elements immutable once placed —
+// so a capacity-capped view pins exactly today's prefix without copying a
+// byte. Later allocations on h re-allocate past the cap and can never leak
+// into the view. The engine's checkpoint layer captures one view per crash
+// point where it used to pay a full Clone.
+func (h *Heap) Snapshot() *Heap {
+	return &Heap{
+		next:   h.next,
+		allocs: h.allocs[:len(h.allocs):len(h.allocs)],
+		inits:  h.inits[:len(h.inits):len(h.inits)],
+	}
+}
+
 // Restore overwrites h's allocation state with a copy of src's. Handles
 // pointing at h stay valid and resolve against the restored state; src is
 // not aliased and may be restored into any number of heaps.

@@ -97,6 +97,12 @@ type Config struct {
 	// run (defaults on; results identical either way).
 	Checkpoint engine.CheckpointMode
 	DirectRun  engine.DirectRunMode
+	// Keyframe is the full-clone interval for delta checkpoints (0 = the
+	// engine default; 1 = every snapshot a full clone) and Dedup toggles
+	// crash-image memoization — both forwarded to every engine run
+	// (results identical at any setting).
+	Keyframe int
+	Dedup    engine.DedupMode
 	// Sequential runs benchmarks one at a time instead of concurrently.
 	// Results are identical (the determinism tests prove it); wall-clock
 	// fields are the only observable difference, so use it when per-run
@@ -208,6 +214,9 @@ func (r *Result) TotalStats() engine.Stats {
 			s.SimulatedOps += run.Stats.SimulatedOps
 			s.Handoffs += run.Stats.Handoffs
 			s.DirectOps += run.Stats.DirectOps
+			s.SnapshotBytes += run.Stats.SnapshotBytes
+			s.JournalOps += run.Stats.JournalOps
+			s.DedupedScenarios += run.Stats.DedupedScenarios
 		}
 	}
 	return s
@@ -418,6 +427,8 @@ func Run(cfg Config) *Result {
 			opts.Workers = budget.Size()
 			opts.Checkpoint = cfg.Checkpoint
 			opts.DirectRun = cfg.DirectRun
+			opts.Keyframe = cfg.Keyframe
+			opts.Dedup = cfg.Dedup
 			opts.Budget = budget
 			start := time.Now()
 			er := engine.Run(spec.Make, opts)

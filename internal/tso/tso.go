@@ -160,6 +160,11 @@ func NewMachine(listener Listener) *Machine {
 	return &Machine{listener: listener}
 }
 
+// ReserveMemory pre-sizes the memory view for addresses [0, n), so seeding
+// a persisted image (ascending addresses) fills one allocation instead of
+// growing geometrically.
+func (m *Machine) ReserveMemory(n int) { m.mem.Reserve(n) }
+
 // SpawnThreads declares that the execution runs threads 0..n-1 and fixes the
 // machine's thread range: any later operation naming a TID outside [0, n)
 // panics. Declaring the range up front documents the density invariant the
