@@ -20,7 +20,10 @@ import (
 	"yashme/internal/progs/cceh"
 	"yashme/internal/suite"
 	"yashme/internal/workload"
-	"yashme/internal/xfd"
+
+	// Link the xfd analysis pass (the stacked suite mode and the
+	// related-work comparison select it via Options.Analyses).
+	_ "yashme/internal/analysis/all"
 )
 
 // mustSpec fetches a registered workload by name (the suite import links
@@ -135,6 +138,7 @@ func BenchmarkTable3Parallel(b *testing.B) {
 func BenchmarkSuiteTable3(b *testing.B) {
 	type benchStat struct {
 		Races            int   `json:"races"`
+		XFDRaces         int   `json:"xfd_races,omitempty"`
 		SimulatedOps     int64 `json:"simulated_ops"`
 		Handoffs         int64 `json:"handoffs"`
 		DirectOps        int64 `json:"direct_ops"`
@@ -151,20 +155,27 @@ func BenchmarkSuiteTable3(b *testing.B) {
 		JournalOps       int64                 `json:"journal_ops"`
 		DedupedScenarios int64                 `json:"deduped_scenarios"`
 		Races            float64               `json:"races"`
+		XFDRaces         float64               `json:"xfd_races,omitempty"`
 		AllocsPerOp      uint64                `json:"allocs_per_op"`
 		BytesPerOp       uint64                `json:"bytes_per_op"`
 		Benchmarks       map[string]*benchStat `json:"benchmarks"`
 	}
 	results := map[string]*measurement{}
 	for _, mode := range []struct {
-		name   string
-		ck     engine.CheckpointMode
-		direct engine.DirectRunMode
+		name     string
+		ck       engine.CheckpointMode
+		direct   engine.DirectRunMode
+		analyses []string
 	}{
-		{"on", engine.CheckpointOn, engine.DirectRunOn},
-		{"off", engine.CheckpointOff, engine.DirectRunOn},
-		{"on-nodirect", engine.CheckpointOn, engine.DirectRunOff},
-		{"off-nodirect", engine.CheckpointOff, engine.DirectRunOff},
+		{"on", engine.CheckpointOn, engine.DirectRunOn, nil},
+		{"off", engine.CheckpointOff, engine.DirectRunOn, nil},
+		{"on-nodirect", engine.CheckpointOn, engine.DirectRunOff, nil},
+		{"off-nodirect", engine.CheckpointOff, engine.DirectRunOff, nil},
+		// The stacked mode runs both detectors over the one simulation
+		// (E23): the yashme race count must not move, the xfd count is the
+		// cross-failure baseline's, and the ns/op delta is the marginal cost
+		// of the second pass.
+		{"stacked", engine.CheckpointOn, engine.DirectRunOn, []string{"yashme", "xfd"}},
 	} {
 		mode := mode
 		m := &measurement{Benchmarks: map[string]*benchStat{}}
@@ -183,6 +194,7 @@ func BenchmarkSuiteTable3(b *testing.B) {
 					Variants:   []string{suite.VariantRaces},
 					Checkpoint: mode.ck,
 					DirectRun:  mode.direct,
+					Analyses:   mode.analyses,
 				})
 			}
 			runtime.ReadMemStats(&after)
@@ -201,12 +213,13 @@ func BenchmarkSuiteTable3(b *testing.B) {
 			m.Races = float64(races)
 			m.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(b.N)
 			m.BytesPerOp = (after.TotalAlloc - before.TotalAlloc) / uint64(b.N)
+			m.XFDRaces = 0 // the harness may invoke this closure several times
 			for _, bench := range res.Benchmarks {
 				run := bench.Run(suite.RunRaces)
 				if run == nil {
 					continue
 				}
-				m.Benchmarks[bench.Name] = &benchStat{
+				bs := &benchStat{
 					Races:            run.RaceCount,
 					SimulatedOps:     run.Stats.SimulatedOps,
 					Handoffs:         run.Stats.Handoffs,
@@ -215,6 +228,14 @@ func BenchmarkSuiteTable3(b *testing.B) {
 					JournalOps:       run.Stats.JournalOps,
 					DedupedScenarios: run.Stats.DedupedScenarios,
 				}
+				if x := run.Analysis("xfd"); x != nil {
+					bs.XFDRaces = x.RaceCount
+					m.XFDRaces += float64(x.RaceCount)
+				}
+				m.Benchmarks[bench.Name] = bs
+			}
+			if m.XFDRaces > 0 {
+				b.ReportMetric(m.XFDRaces, "xfd-races")
 			}
 		})
 	}
@@ -223,7 +244,7 @@ func BenchmarkSuiteTable3(b *testing.B) {
 		Benchmark  string                  `json:"benchmark"`
 		Modes      map[string]*measurement `json:"modes"`
 		SimOpsWin  float64                 `json:"simops_ratio_off_over_on"`
-	}{Experiment: "E18", Benchmark: "suite-table3", Modes: results}
+	}{Experiment: "E23", Benchmark: "suite-table3", Modes: results}
 	if on := results["on"].SimulatedOps; on > 0 {
 		artifact.SimOpsWin = float64(results["off"].SimulatedOps) / float64(on)
 	}
@@ -662,7 +683,12 @@ func BenchmarkRelatedWorkComparison(b *testing.B) {
 		b.ReportAllocs()
 		races := 0
 		for i := 0; i < b.N; i++ {
-			races = xfd.Run(ccehProg()).Count()
+			res := yashme.Run(ccehProg(), yashme.Options{
+				Mode:            yashme.ModelCheck,
+				PersistPolicies: []yashme.PersistPolicy{yashme.PersistLatest},
+				Analyses:        []string{"xfd"},
+			})
+			races = res.Report.Count()
 		}
 		b.ReportMetric(float64(races), "cross-failure-races")
 		b.ReportMetric(0, "persistency-races") // structurally zero

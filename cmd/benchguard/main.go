@@ -5,13 +5,17 @@
 //	go test -run xxx -bench BenchmarkSuiteTable3 .
 //	go run ./cmd/benchguard -baseline <committed>.json -fresh BENCH_suite.json
 //
-// Four checks:
+// Five checks:
 //
 //   - every mode of the fresh artifact must report exactly 19 races — the
 //     paper's Table 3 row count. A drift in either direction means a
 //     detector or equivalence bug, not noise. The per-benchmark breakdown
 //     the suite layer emits is printed alongside so a drift names its
 //     benchmark immediately;
+//   - the stacked mode (analysis stack yashme,xfd over the one simulation)
+//     must additionally report exactly -xfd-races cross-failure races: the
+//     19-race gate proves the extra pass didn't perturb the primary
+//     detector, this one pins the extra pass's own output;
 //   - checkpoint-on modes must report deduped_scenarios > 0: crash-image
 //     memoization going inert is a silent perf regression the wall-clock
 //     bar would not catch (-require-dedup=false to waive);
@@ -36,6 +40,7 @@ import (
 // benchStat mirrors the per-benchmark breakdown of a mode.
 type benchStat struct {
 	Races            int   `json:"races"`
+	XFDRaces         int   `json:"xfd_races"`
 	SimulatedOps     int64 `json:"simulated_ops"`
 	Handoffs         int64 `json:"handoffs"`
 	DirectOps        int64 `json:"direct_ops"`
@@ -56,6 +61,7 @@ type measurement struct {
 	JournalOps       int64                 `json:"journal_ops"`
 	DedupedScenarios int64                 `json:"deduped_scenarios"`
 	Races            float64               `json:"races"`
+	XFDRaces         float64               `json:"xfd_races"`
 	AllocsPerOp      uint64                `json:"allocs_per_op"`
 	BytesPerOp       uint64                `json:"bytes_per_op"`
 	Benchmarks       map[string]*benchStat `json:"benchmarks"`
@@ -93,7 +99,12 @@ func breakdown(m *measurement) string {
 	sort.Strings(names)
 	parts := make([]string, 0, len(names))
 	for _, name := range names {
-		parts = append(parts, fmt.Sprintf("%s:%d", name, m.Benchmarks[name].Races))
+		bs := m.Benchmarks[name]
+		if m.XFDRaces > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d/x%d", name, bs.Races, bs.XFDRaces))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s:%d", name, bs.Races))
+		}
 	}
 	return strings.Join(parts, " ")
 }
@@ -102,6 +113,7 @@ func run() error {
 	baselinePath := flag.String("baseline", "", "committed BENCH_suite.json to compare against")
 	freshPath := flag.String("fresh", "BENCH_suite.json", "freshly generated artifact")
 	wantRaces := flag.Float64("races", 19, "exact race count every mode must report (Table 3)")
+	wantXFD := flag.Float64("xfd-races", 33, "exact cross-failure race count the stacked mode must report (0 = don't check)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns_per_op / allocs_per_op / bytes_per_op regression vs baseline")
 	requireDedup := flag.Bool("require-dedup", true, "checkpoint-on modes must report deduped_scenarios > 0")
 	flag.Parse()
@@ -132,6 +144,13 @@ func run() error {
 		if m.Races != *wantRaces {
 			failures = append(failures, fmt.Sprintf(
 				"mode %q: races = %v, want exactly %v", name, m.Races, *wantRaces))
+		}
+		// The stacked mode runs the yashme+xfd analysis stack over the one
+		// simulation: the primary count is gated above (the extra pass must
+		// not perturb it), and the cross-failure count is pinned too.
+		if name == "stacked" && *wantXFD > 0 && m.XFDRaces != *wantXFD {
+			failures = append(failures, fmt.Sprintf(
+				"mode %q: xfd_races = %v, want exactly %v", name, m.XFDRaces, *wantXFD))
 		}
 		// Crash-image memoization must actually fire on the checkpoint-on
 		// sweeps; zero skips means the signature layer went inert.

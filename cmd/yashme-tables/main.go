@@ -9,7 +9,8 @@
 // Usage:
 //
 //	yashme-tables                     # everything
-//	yashme-tables -table 5            # one table: 2a, 2b, 3, 4, 5, window, bugs, benign
+//	yashme-tables -table 5            # one table: 2a, 2b, 3, 4, 5, window, bugs, benign, xfd
+//	yashme-tables -table xfd          # Yashme vs XFDetector from one stacked run (-analyses yashme,xfd)
 //	yashme-tables -json               # the unified suite result as JSON
 //	yashme-tables -json -shard 1/2    # one deterministic shard (CI matrix)
 //	yashme-tables -tags table3,pmdk   # restrict the suite by workload tags
@@ -24,6 +25,9 @@ import (
 	"yashme/internal/suite"
 	"yashme/internal/tables"
 	"yashme/internal/workload"
+
+	// Link the non-default analysis passes (-analyses, the xfd table).
+	_ "yashme/internal/analysis/all"
 )
 
 // main delegates to run so deferred profile writers fire before exit.
@@ -44,11 +48,12 @@ var tableSelection = map[string]struct {
 	"window": {[]string{workload.TagWindow}, []string{suite.VariantRaces, suite.VariantWindow}},
 	"bugs":   {[]string{workload.TagTable3, workload.TagTable4}, []string{suite.VariantRaces}},
 	"benign": {[]string{workload.TagBenign}, []string{suite.VariantBenign}},
+	"xfd":    {[]string{workload.TagXFD}, []string{suite.VariantRaces}},
 	"all":    {nil, nil},
 }
 
 func run() int {
-	which := flag.String("table", "all", "table to print: 2a | 2b | 3 | 4 | 5 | window | bugs | benign | all")
+	which := flag.String("table", "all", "table to print: 2a | 2b | 3 | 4 | 5 | window | bugs | benign | xfd | all")
 	format := flag.String("format", "text", "output format: text | markdown (2b, 3, 4 and 5 only)")
 	seq := flag.Bool("seq", false, "run benchmarks sequentially (identical results; per-run timings don't overlap)")
 	shared := cliutil.Register()
@@ -70,6 +75,11 @@ func run() int {
 		cfg.Tags = sel.tags
 	}
 	cfg.Variants = sel.variants
+	// The comparison table needs both detectors in the stack; default the
+	// pass selection for it unless -analyses chose explicitly.
+	if *which == "xfd" && len(cfg.Analyses) == 0 {
+		cfg.Analyses = []string{"yashme", "xfd"}
+	}
 
 	stop, err := shared.StartProfiles("yashme-tables")
 	if err != nil {
@@ -148,6 +158,20 @@ func run() int {
 		fmt.Println("=== Artifact appendix (Figs. 11-12): bug index with implementation sites ===")
 		fmt.Print(tables.BugIndexText(res))
 		fmt.Println()
+	}
+	if emit("xfd") {
+		// In -table all the suite ran the default yashme-only stack, so the
+		// comparison has no per-pass rows to render; it only prints when the
+		// run actually stacked both detectors.
+		if rows := tables.Comparison(res); len(rows) > 0 || *which == "xfd" {
+			fmt.Println("=== E23: Yashme vs XFDetector, one simulation (§1/§8) ===")
+			if md {
+				fmt.Print(tables.ComparisonMarkdown(rows))
+			} else {
+				fmt.Print(tables.ComparisonText(rows))
+			}
+			fmt.Println()
+		}
 	}
 	if emit("benign") {
 		fmt.Println("=== §7.5: benign checksum-guarded races ===")

@@ -29,7 +29,9 @@ import (
 	"yashme/internal/suite"
 	"yashme/internal/workload"
 
-	// Link every built-in benchmark's registration.
+	// Link every built-in benchmark's registration and every non-default
+	// analysis pass (-analyses).
+	_ "yashme/internal/analysis/all"
 	_ "yashme/internal/workload/all"
 )
 
@@ -117,6 +119,9 @@ func run() int {
 					fmt.Printf("%-15s %d races, %d executions, %s\n",
 						b.Name, run.RaceCount, run.Executions,
 						time.Duration(run.ElapsedNs).Round(time.Microsecond))
+					for _, a := range run.Analyses {
+						fmt.Printf("    %-11s %d races\n", a.Name, a.RaceCount)
+					}
 				}
 			}
 			fmt.Printf("total: %d races\n", res.TotalRaces(suite.RunRaces))
@@ -183,13 +188,25 @@ func run() int {
 			}
 		}
 	}
+	// With a stacked -analyses selection, the primary pass's report is the
+	// main listing above; the extra passes get their own sections.
+	total := len(races)
+	if len(res.Passes) > 1 {
+		for _, p := range res.Passes[1:] {
+			fmt.Printf("%s races: %d\n", p.Name, p.Report.Count())
+			for _, r := range p.Report.Races() {
+				fmt.Printf("  %s\n", r)
+			}
+			total += p.Report.Count()
+		}
+	}
 	if *benign {
 		fmt.Printf("benign (checksum-guarded) races: %d\n", res.Report.BenignCount())
 		for _, r := range res.Report.Benign() {
 			fmt.Printf("  %s\n", r)
 		}
 	}
-	if len(races) > 0 {
+	if total > 0 {
 		return 1
 	}
 	return 0

@@ -21,7 +21,8 @@ import (
 	"yashme/internal/pmm"
 	"yashme/internal/pmtest"
 	"yashme/internal/progs/cceh"
-	"yashme/internal/xfd"
+
+	_ "yashme/internal/analysis/all" // link the xfd pass
 )
 
 func main() {
@@ -43,8 +44,14 @@ func main() {
 	})
 	fmt.Printf("PMTest-style rules:        %d violations (the protocol is as the developer intended)\n", len(violations))
 
-	// 2. Cross-failure detection on the full CCEH driver.
-	xfdRaces := xfd.Run(cceh.New(4, nil))
+	// 2. Cross-failure detection on the full CCEH driver, through the same
+	// engine (the xfd analysis pass, one crash per flush/fence point of the
+	// given execution).
+	xfdRaces := yashme.Run(cceh.New(4, nil), yashme.Options{
+		Mode:            yashme.ModelCheck,
+		PersistPolicies: []yashme.PersistPolicy{yashme.PersistLatest},
+		Analyses:        []string{"xfd"},
+	}).Report
 	flushedClaims := 0
 	for _, r := range xfdRaces.Races() {
 		if r.Flushed {

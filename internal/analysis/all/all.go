@@ -1,0 +1,10 @@
+// Package all links every built-in analysis pass into the binary: each
+// pass package registers its factory from an init function, so a blank
+// import of this package is what makes analysis.Names() complete. The CLIs
+// import it (their -analyses flag can name any built-in pass); tests that
+// exercise a specific pass import that pass package directly.
+package all
+
+import (
+	_ "yashme/internal/xfd"
+)

@@ -27,6 +27,7 @@ type Flags struct {
 	Shard      string
 	JSON       bool
 	Tags       string
+	Analyses   string
 	CPUProfile string
 	MemProfile string
 }
@@ -43,6 +44,7 @@ func Register() *Flags {
 	flag.StringVar(&f.Shard, "shard", "", "run shard i/n of the suite (deterministic by benchmark name; union of shards == full run)")
 	flag.BoolVar(&f.JSON, "json", false, "emit the unified suite result as JSON instead of rendered output")
 	flag.StringVar(&f.Tags, "tags", "", "comma-separated workload tags to select (e.g. table3,pmdk; empty = all)")
+	flag.StringVar(&f.Analyses, "analyses", "", "comma-separated analysis passes to run over the one simulation (empty = yashme; e.g. yashme,xfd — the first is primary)")
 	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
 	return f
@@ -64,8 +66,18 @@ func (f *Flags) SuiteConfig() (suite.Config, error) {
 	if f.Tags != "" {
 		cfg.Tags = strings.Split(f.Tags, ",")
 	}
+	cfg.Analyses = f.AnalysisList()
 	f.applyModes(&cfg.Checkpoint, &cfg.DirectRun, &cfg.Dedup)
 	return cfg, nil
+}
+
+// AnalysisList parses the -analyses flag into a pass list (nil = the
+// engine default, yashme alone).
+func (f *Flags) AnalysisList() []string {
+	if f.Analyses == "" {
+		return nil
+	}
+	return strings.Split(f.Analyses, ",")
 }
 
 // EngineOptions applies the shared worker/fast-path flags to a single
@@ -73,6 +85,7 @@ func (f *Flags) SuiteConfig() (suite.Config, error) {
 func (f *Flags) EngineOptions(opts *engine.Options) {
 	opts.Workers = f.Workers
 	opts.Keyframe = f.Keyframe
+	opts.Analyses = f.AnalysisList()
 	f.applyModes(&opts.Checkpoint, &opts.DirectRun, &opts.Dedup)
 }
 

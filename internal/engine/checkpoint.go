@@ -74,6 +74,7 @@ import (
 	"bytes"
 	"math/rand"
 
+	"yashme/internal/analysis"
 	"yashme/internal/core"
 	"yashme/internal/pmm"
 	"yashme/internal/trace"
@@ -247,6 +248,11 @@ type snapshot struct {
 	base    *snapshot
 	journal *core.Journal
 	jMark   int
+	// extras are read-only clones of the stack's extra analysis passes at
+	// the point, nil for a yashme-only stack. Unlike the model they are
+	// cloned at every snapshot — the journal records only core.Detector
+	// mutations — and resume clones them again.
+	extras  []analysis.Pass
 	rec     *trace.Recorder // nil unless tracing
 	image   imageTable
 	// setupAllocs/setupNext fingerprint the heap right after Setup.
@@ -387,6 +393,7 @@ func (k *snapshotSink) take(sc *scenario, point int) {
 // scenario's stats as they are taken.
 func (k *snapshotSink) capture(sc *scenario, point int) *snapshot {
 	snap := newSnapshotShell(sc, point)
+	sc.stats.SnapshotBytes += analysis.ExtrasFootprintBytes(snap.extras)
 	if !k.imageTaken {
 		k.image = sc.image.clone()
 		k.imageTaken = true
@@ -456,6 +463,7 @@ func newSnapshotShell(sc *scenario, point int) *snapshot {
 		// threads; the scheduler draws Intn(j) for j = live-1 down to 2.
 		snap.unwind = sc.liveThreads - 1
 	}
+	snap.extras = analysis.CloneExtras(sc.stack.Extras())
 	if sc.recorder != nil {
 		snap.rec = sc.recorder.Clone(nil, nil)
 	}
@@ -496,6 +504,11 @@ func (k *snapshotSink) classify(sc *scenario, point int) {
 	buf = sigU64(buf, sc.rngSrc.n)
 	buf = sc.image.appendSignature(buf)
 	buf = sc.det.Current().AppendStateSignature(buf)
+	// Extra passes append their own decision-relevant state (nothing for a
+	// yashme-only stack, keeping the default signature bytes unchanged):
+	// two points only dedup when the WHOLE stack finds them
+	// indistinguishable.
+	buf = sc.stack.AppendExtrasSignature(buf)
 	k.sigBuf = buf
 	k.file(point, fnv64a(buf), buf)
 }
@@ -558,7 +571,8 @@ func resumeScenario(makeProg func() pmm.Program, opts Options, snap *snapshot, p
 		persist = PersistLatest
 	}
 	det := snap.materializeDetector()
-	det.SetLabeler(heap.LabelFor)
+	stack := analysis.Rebuild(opts.Analyses, det, analysis.CloneExtras(snap.extras))
+	stack.SetLabeler(heap.LabelFor)
 	src := snap.rng.forkShared()
 	if src == nil {
 		src = newCountingSource(snap.seed)
@@ -568,6 +582,7 @@ func resumeScenario(makeProg func() pmm.Program, opts Options, snap *snapshot, p
 		opts:        opts,
 		prog:        prog,
 		heap:        heap,
+		stack:       stack,
 		det:         det,
 		rng:         rand.New(src),
 		rngSrc:      src,
@@ -581,11 +596,12 @@ func resumeScenario(makeProg func() pmm.Program, opts Options, snap *snapshot, p
 		setupAllocs: snap.setupAllocs,
 		setupNext:   snap.setupNext,
 	}
+	sc.setGates()
 	for k, v := range snap.crashPoints {
 		sc.crashPoints[k] = v
 	}
 	if opts.Trace && snap.rec != nil {
-		sc.recorder = snap.rec.Clone(det, heap.LabelFor)
+		sc.recorder = snap.rec.Clone(stack.Listener(), heap.LabelFor)
 	}
 	// Replay the crash-unwind draws so the rng matches a scratch scenario
 	// whose scheduler unwound the remaining threads at the crash. These must

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"yashme/internal/analysis"
 	"yashme/internal/pmm"
 	"yashme/internal/report"
 )
@@ -241,6 +242,12 @@ type Options struct {
 	EADR bool
 	// Suppress lists field labels whose races are annotated away (§7.5).
 	Suppress []string
+	// Analyses selects the analysis passes to run over the simulation, by
+	// registry name (internal/analysis), in order. Every pass observes the
+	// same event stream and crash scenarios; each gets its own report in
+	// Result.Passes. Empty selects the default, {"yashme"}. The first
+	// selected pass is the primary: Result.Report aliases its report.
+	Analyses []string
 }
 
 func (o Options) withDefaults() Options {
@@ -267,6 +274,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Keyframe <= 0 {
 		o.Keyframe = DefaultKeyframe
+	}
+	if len(o.Analyses) == 0 {
+		o.Analyses = []string{analysis.Yashme}
 	}
 	return o
 }
@@ -344,10 +354,25 @@ type PointStat struct {
 	Races int `json:"races"`
 }
 
+// PassResult is one analysis pass's outcome within a Result: the pass's
+// registry name and its deduplicated race reports, merged across every
+// scenario of the run in spec order.
+type PassResult struct {
+	// Name is the pass's registry name ("yashme", "xfd", ...).
+	Name string
+	// Report holds the pass's deduplicated races (and benign races).
+	Report *report.Set
+}
+
 // Result is the outcome of a Run.
 type Result struct {
-	// Report holds the deduplicated persistency races (and benign races).
+	// Report holds the primary pass's deduplicated persistency races (and
+	// benign races). It aliases Passes[0].Report — the first selected
+	// analysis — so single-pass callers never touch Passes.
 	Report *report.Set
+	// Passes holds each selected analysis pass's report, in Options.Analyses
+	// order.
+	Passes []PassResult
 	// ExecutionsRun counts complete pre-crash+post-crash scenario runs.
 	ExecutionsRun int
 	// CrashPoints is the number of flush/fence crash points in the probed
@@ -357,6 +382,17 @@ type Result struct {
 	Stats Stats
 	// Window is the per-crash-point race histogram (ModelCheck only).
 	Window []PointStat
+}
+
+// newResult builds an empty Result shaped for the run's analysis selection
+// (opts must already carry defaults).
+func newResult(opts Options) *Result {
+	res := &Result{Passes: make([]PassResult, len(opts.Analyses))}
+	for i, name := range opts.Analyses {
+		res.Passes[i] = PassResult{Name: name, Report: report.NewSet()}
+	}
+	res.Report = res.Passes[0].Report
+	return res
 }
 
 // Run explores a program per the options and returns the merged reports.
@@ -370,7 +406,7 @@ func Run(makeProg func() pmm.Program, opts Options) *Result {
 	if opts.Mode != ModelCheck && opts.Mode != RandomMode {
 		panic(fmt.Sprintf("engine: unknown mode %d", opts.Mode))
 	}
-	res := &Result{Report: report.NewSet()}
+	res := newResult(opts)
 	runExplore(makeProg, opts, res)
 	return res
 }
@@ -381,7 +417,7 @@ func Run(makeProg func() pmm.Program, opts Options) *Result {
 // paper's single-execution comparisons (Table 5).
 func RunOne(makeProg func() pmm.Program, opts Options, crashPoint int, pp PersistPolicy, seed int64) *Result {
 	opts = opts.withDefaults()
-	res := &Result{Report: report.NewSet()}
+	res := newResult(opts)
 	sc := newScenario(makeProg, opts, plan{0: crashPoint}, pp, seed)
 	sc.run()
 	res.absorb(sc)
@@ -394,7 +430,9 @@ func RunOne(makeProg func() pmm.Program, opts Options, crashPoint int, pp Persis
 const DefaultReadChoiceCap = 24
 
 func (res *Result) absorb(sc *scenario) {
-	res.Report.Merge(sc.det.Report())
+	for i, r := range sc.stack.Reports() {
+		res.Passes[i].Report.Merge(r)
+	}
 	res.ExecutionsRun++
 	res.Stats.add(sc.stats)
 }

@@ -81,11 +81,12 @@ type scenarioSpec struct {
 	retain bool
 }
 
-// specResult is the outcome of one spec: a private report set plus the
-// counters the merge layer folds into the Result.
+// specResult is the outcome of one spec: a private report set per analysis
+// pass (parallel to Options.Analyses) plus the counters the merge layer
+// folds into the Result.
 type specResult struct {
 	spec       scenarioSpec
-	report     *report.Set
+	reports    []*report.Set
 	executions int
 	stats      Stats
 	// windowRaces is the largest per-scenario deduplicated race count
@@ -280,7 +281,7 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 func synthesizeDedup(rep *specResult, spec scenarioSpec) *specResult {
 	out := &specResult{
 		spec:        spec,
-		report:      rep.report,
+		reports:     rep.reports,
 		executions:  rep.executions,
 		windowRaces: rep.windowRaces,
 		panicked:    rep.panicked,
@@ -304,7 +305,9 @@ func synthesizeDedup(rep *specResult, spec scenarioSpec) *specResult {
 // mergeSpec folds one spec outcome into the Result. Called in spec-index
 // order only.
 func (res *Result) mergeSpec(r *specResult) {
-	res.Report.Merge(r.report)
+	for i, rep := range r.reports {
+		res.Passes[i].Report.Merge(rep)
+	}
 	res.ExecutionsRun += r.executions
 	res.Stats.add(r.stats)
 	if !r.spec.window {
@@ -476,7 +479,10 @@ func planRandom(makeProg func() pmm.Program, opts Options, emit func(scenarioSpe
 // follow-ups resume from the recovery prefix — the same mechanism one level
 // down the execution stack.
 func runSpec(makeProg func() pmm.Program, opts Options, spec scenarioSpec) (out *specResult) {
-	out = &specResult{spec: spec, report: report.NewSet()}
+	out = &specResult{spec: spec, reports: make([]*report.Set, len(opts.Analyses))}
+	for i := range out.reports {
+		out.reports[i] = report.NewSet()
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			out.panicked = p
@@ -493,7 +499,7 @@ func runSpec(makeProg func() pmm.Program, opts Options, spec scenarioSpec) (out 
 		}
 		sc.capture = recSink
 	})
-	out.windowRaces = sc.det.Report().Count()
+	out.windowRaces = sc.stack.PrimaryReport().Count()
 	out.absorb(sc)
 
 	if spec.exploreReads {
@@ -539,7 +545,7 @@ func runReadChoices(makeProg func() pmm.Program, opts Options, spec scenarioSpec
 			sc := runPlanned(makeProg, opts, spec.snap, plan{0: spec.crashPoint}, PersistLatest, spec.seed, func(sc *scenario) {
 				sc.persistOverride = map[pmm.Line]vclock.Seq{line: choice}
 			})
-			if n := sc.det.Report().Count(); n > out.windowRaces {
+			if n := sc.stack.PrimaryReport().Count(); n > out.windowRaces {
 				out.windowRaces = n
 			}
 			out.absorb(sc)
@@ -548,7 +554,9 @@ func runReadChoices(makeProg func() pmm.Program, opts Options, spec scenarioSpec
 }
 
 func (r *specResult) absorb(sc *scenario) {
-	r.report.Merge(sc.det.Report())
+	for i, rep := range sc.stack.Reports() {
+		r.reports[i].Merge(rep)
+	}
 	r.executions++
 	r.stats.add(sc.stats)
 }

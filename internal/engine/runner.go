@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"yashme/internal/addridx"
+	"yashme/internal/analysis"
 	"yashme/internal/core"
 	"yashme/internal/pmm"
 	"yashme/internal/report"
@@ -168,11 +169,21 @@ func (t *imageTable) appendSignature(buf []byte) []byte {
 
 // scenario runs one crash plan end to end.
 type scenario struct {
-	opts     Options
-	prog     pmm.Program
-	heap     *pmm.Heap
-	det      *core.Detector
-	machine  *tso.Machine
+	opts Options
+	prog pmm.Program
+	heap *pmm.Heap
+	// stack is the scenario's analysis-pass stack (internal/analysis); det
+	// is its always-present Yashme core model — the image derivation and
+	// candidate provenance are functions of its execution state regardless
+	// of which passes are selected.
+	stack *analysis.Stack
+	det   *core.Detector
+	// yashmeChecks gates the model's candidate race checks (the "yashme"
+	// pass is selected and the detector is on); crashChecks gates the extra
+	// passes' post-crash read classification.
+	yashmeChecks bool
+	crashChecks  bool
+	machine      *tso.Machine
 	recorder *trace.Recorder // nil unless Options.Trace
 	rng      *rand.Rand
 	// rngSrc is rng's underlying source, wrapped to count raw draws so a
@@ -238,19 +249,23 @@ func newScenario(makeProg func() pmm.Program, opts Options, p plan, persist Pers
 		// the latest committed state.
 		persist = PersistLatest
 	}
-	det := core.New(core.Config{
+	stack, err := analysis.NewStack(opts.Analyses, analysis.Config{
 		Prefix:    opts.Prefix,
 		EADR:      opts.EADR,
 		Benchmark: benchmark,
 		Labeler:   func(a pmm.Addr) string { return heap.LabelFor(a) },
 		Suppress:  opts.Suppress,
 	})
+	if err != nil {
+		panic(fmt.Sprintf("engine: %v", err))
+	}
 	src := newCountingSource(seed)
 	sc := &scenario{
 		opts:        opts,
 		prog:        prog,
 		heap:        heap,
-		det:         det,
+		stack:       stack,
+		det:         stack.Model(),
 		rng:         rand.New(src),
 		rngSrc:      src,
 		seed:        seed,
@@ -260,13 +275,23 @@ func newScenario(makeProg func() pmm.Program, opts Options, p plan, persist Pers
 		setupAllocs: heap.AllocCount(),
 		setupNext:   heap.NextFree(),
 	}
+	sc.setGates()
 	if opts.Trace {
-		sc.recorder = trace.NewRecorder(det, heap.LabelFor)
+		sc.recorder = trace.NewRecorder(stack.Listener(), heap.LabelFor)
 	}
 	for _, w := range heap.InitWrites() {
 		sc.image.set(w.Addr, imageEntry{val: w.Val, size: w.Size, prevVal: w.Val})
+		stack.SeedPersisted(w.Addr)
 	}
 	return sc
+}
+
+// setGates precomputes the per-load analysis gates from the stack and the
+// DetectorOff baseline knob (which silences every pass's checks, keeping the
+// "Jaaru time" comparison meaningful for any stack).
+func (sc *scenario) setGates() {
+	sc.yashmeChecks = sc.stack.YashmeSelected() && !sc.opts.DetectorOff
+	sc.crashChecks = len(sc.stack.Extras()) > 0 && !sc.opts.DetectorOff
 }
 
 // run executes the full scenario: pre-crash workload, then recovery runs
@@ -307,7 +332,7 @@ func (sc *scenario) finish(crashSeq vclock.Seq) {
 		}
 		sc.buildImage()
 		sc.execIdx++
-		sc.det.EndExecution(crashSeq)
+		sc.stack.EndExecution(crashSeq)
 		sc.startMachine()
 		crashedHere := sc.runExecution(recovery)
 		if !crashedHere {
@@ -332,7 +357,7 @@ func (sc *scenario) attachWitnesses() {
 // startMachine creates a fresh TSO machine for the current execution,
 // seeded from the persisted image.
 func (sc *scenario) startMachine() {
-	var listener tso.Listener = sc.det
+	listener := sc.stack.Listener()
 	if sc.recorder != nil {
 		sc.recorder.SetExec(sc.execIdx)
 		listener = sc.recorder
@@ -671,7 +696,7 @@ func (sc *scenario) resolvePostCrashLoad(tid vclock.TID, addr pmm.Addr, size int
 		return truncVal(entry.val, size) // Setup-time initial value
 	}
 	var chosenRaced bool
-	if !sc.opts.DetectorOff {
+	if sc.yashmeChecks {
 		cands := entry.candidates
 		if lim := sc.opts.CandidateLimit; lim > 0 && len(cands) > lim {
 			cands = cands[len(cands)-lim:] // newest candidates only
@@ -791,6 +816,13 @@ func (t *threadOps) Load(a pmm.Addr, size int, atomic, acquire bool) uint64 {
 	t.sync()
 	t.sc.stats.Loads++
 	val, rec, fromSB := t.sc.machine.LoadDetail(t.tid, a, size, acquire)
+	// Extra passes classify every post-crash load — including loads of
+	// values the recovery itself produced (their FSMs track the address's
+	// whole history, as XFDetector's does) — so the hook fires before the
+	// current-execution short-circuit below.
+	if t.sc.execIdx > 0 && t.sc.crashChecks {
+		t.sc.stack.CrashRead(a, t.guarded)
+	}
 	if fromSB || (rec != nil && rec.Seq > 0) {
 		return val // a value produced by the current execution
 	}

@@ -1,0 +1,142 @@
+package engine_test
+
+// Differential tests for the analysis-pass stack (internal/analysis):
+// running several passes over one simulation must be observationally
+// equivalent, per pass, to running each pass alone. The fan-out listener
+// consumes no randomness and the extra passes never influence scheduling,
+// image derivation or the model detector, so a stacked run's per-pass
+// reports — and every workload-behavior counter — must be byte-identical to
+// the single-pass runs, across random programs and the checkpoint ×
+// directrun × dedup option matrix. (The cost counters legitimately differ:
+// extra passes participate in the crash-image memoization signature, so a
+// stacked run may dedup fewer scenarios.)
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"yashme/internal/engine"
+	"yashme/internal/fuzzprog"
+	"yashme/internal/report"
+
+	_ "yashme/internal/analysis/all"
+)
+
+// passJSON is the canonical byte representation a pass's report is compared
+// under: the deduplicated races and benign races, JSON-marshaled.
+func passJSON(t *testing.T, s *report.Set) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Races  []report.Race
+		Benign []report.Race
+	}{s.Races(), s.Benign()})
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	return string(b)
+}
+
+// zeroCostCounters clears the counters that measure work done rather than
+// workload behavior (they vary with checkpoint/dedup interactions, which the
+// extra passes' signatures legitimately change).
+func zeroCostCounters(s *engine.Stats) {
+	s.SimulatedOps = 0
+	s.Handoffs = 0
+	s.DirectOps = 0
+	s.SnapshotBytes = 0
+	s.JournalOps = 0
+	s.DedupedScenarios = 0
+}
+
+// TestStackedPassesMatchSolo: for random programs, running
+// Analyses={yashme,xfd} produces, per pass, byte-identical reports to
+// running that pass alone — and identical workload-behavior stats, window
+// and execution counts to the yashme-only run (the primary pass drives
+// those) — across the checkpoint × directrun × dedup matrix.
+func TestStackedPassesMatchSolo(t *testing.T) {
+	variants := []struct {
+		name string
+		opts engine.Options
+	}{
+		{"ckpt/direct/dedup", engine.Options{}},
+		{"nockpt", engine.Options{Checkpoint: engine.CheckpointOff}},
+		{"nodirect", engine.Options{DirectRun: engine.DirectRunOff}},
+		{"nodedup", engine.Options{Dedup: engine.DedupOff}},
+		{"allescape", engine.Options{Checkpoint: engine.CheckpointOff,
+			DirectRun: engine.DirectRunOff, Dedup: engine.DedupOff}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 8; seed++ {
+				mk, _ := fuzzprog.Generate(fuzzprog.Default(), seed)
+				base := v.opts
+				base.Mode = engine.ModelCheck
+				base.Prefix = true
+				base.Seed = seed
+
+				yOpts, xOpts, sOpts := base, base, base
+				yOpts.Analyses = []string{"yashme"}
+				xOpts.Analyses = []string{"xfd"}
+				sOpts.Analyses = []string{"yashme", "xfd"}
+				yashme := engine.Run(mk, yOpts)
+				xfd := engine.Run(mk, xOpts)
+				stacked := engine.Run(mk, sOpts)
+
+				if len(stacked.Passes) != 2 {
+					t.Fatalf("seed %d: stacked passes = %d, want 2", seed, len(stacked.Passes))
+				}
+				if got, want := passJSON(t, stacked.Passes[0].Report), passJSON(t, yashme.Report); got != want {
+					t.Fatalf("seed %d: stacked yashme pass diverges from solo:\nstacked: %s\nsolo:    %s", seed, got, want)
+				}
+				if got, want := passJSON(t, stacked.Passes[1].Report), passJSON(t, xfd.Report); got != want {
+					t.Fatalf("seed %d: stacked xfd pass diverges from solo:\nstacked: %s\nsolo:    %s", seed, got, want)
+				}
+				if stacked.Report != stacked.Passes[0].Report {
+					t.Fatalf("seed %d: Result.Report does not alias the primary pass", seed)
+				}
+				// The extra pass must not perturb the simulation: every
+				// workload-behavior observable matches the yashme-only run.
+				sStats, yStats := stacked.Stats, yashme.Stats
+				zeroCostCounters(&sStats)
+				zeroCostCounters(&yStats)
+				if sStats != yStats {
+					t.Fatalf("seed %d: stats diverge:\nstacked: %+v\nyashme:  %+v", seed, sStats, yStats)
+				}
+				if !reflect.DeepEqual(stacked.Window, yashme.Window) {
+					t.Fatalf("seed %d: windows diverge:\nstacked: %v\nyashme:  %v", seed, stacked.Window, yashme.Window)
+				}
+				if stacked.ExecutionsRun != yashme.ExecutionsRun {
+					t.Fatalf("seed %d: executions diverge: %d vs %d", seed, stacked.ExecutionsRun, yashme.ExecutionsRun)
+				}
+				if stacked.CrashPoints != yashme.CrashPoints {
+					t.Fatalf("seed %d: crash points diverge: %d vs %d", seed, stacked.CrashPoints, yashme.CrashPoints)
+				}
+			}
+		})
+	}
+}
+
+// TestStackedWorkerCountsAgree: a stacked run's per-pass reports are
+// byte-identical at every worker count (the merge folds per-pass report
+// sets in spec order, like the single-pass merge always has).
+func TestStackedWorkerCountsAgree(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		mk, _ := fuzzprog.Generate(fuzzprog.Default(), seed)
+		opts := engine.Options{
+			Mode: engine.ModelCheck, Prefix: true, Seed: seed,
+			Analyses: []string{"yashme", "xfd"}, Workers: 1,
+		}
+		seq := engine.Run(mk, opts)
+		opts.Workers = 4
+		par := engine.Run(mk, opts)
+		for i := range seq.Passes {
+			if got, want := passJSON(t, par.Passes[i].Report), passJSON(t, seq.Passes[i].Report); got != want {
+				t.Fatalf("seed %d pass %s: parallel diverges from sequential:\npar: %s\nseq: %s",
+					seed, seq.Passes[i].Name, got, want)
+			}
+		}
+	}
+}

@@ -5,7 +5,8 @@ import (
 
 	"yashme/internal/engine"
 	"yashme/internal/report"
-	"yashme/internal/xfd"
+
+	_ "yashme/internal/analysis/all"
 )
 
 const fuzzSeeds = 60
@@ -130,8 +131,14 @@ func TestCrossFailureSubsetOfYashme(t *testing.T) {
 	cfg.NoAtomics = true
 	for seed := int64(1); seed <= 40; seed++ {
 		mk, _ := Generate(cfg, seed)
+		xfdRes := engine.Run(mk, engine.Options{
+			Mode:            engine.ModelCheck,
+			PersistPolicies: []engine.PersistPolicy{engine.PersistLatest},
+			Analyses:        []string{"xfd"},
+			Seed:            1,
+		})
 		xfdFields := map[string]bool{}
-		for _, r := range xfd.Run(mk).Races() {
+		for _, r := range xfdRes.Report.Races() {
 			xfdFields[r.Field] = true
 		}
 		res := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true})

@@ -13,6 +13,6 @@ func init() {
 		ModelCheck:  true,
 		Table5Seed:  1,
 		PaperPrefix: 2,
-		Tags:        []string{workload.TagTable3, workload.TagTable5, workload.TagIndex, workload.TagWindow},
+		Tags:        []string{workload.TagTable3, workload.TagTable5, workload.TagIndex, workload.TagWindow, workload.TagXFD},
 	})
 }

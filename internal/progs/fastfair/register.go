@@ -13,6 +13,6 @@ func init() {
 		Table5Seed:    11,
 		PaperPrefix:   2,
 		PaperBaseline: 1,
-		Tags:          []string{workload.TagTable3, workload.TagTable5, workload.TagIndex},
+		Tags:          []string{workload.TagTable3, workload.TagTable5, workload.TagIndex, workload.TagXFD},
 	})
 }

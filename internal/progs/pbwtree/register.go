@@ -11,6 +11,6 @@ func init() {
 		Make:       New(6, nil),
 		ModelCheck: true,
 		Table5Seed: 2,
-		Tags:       []string{workload.TagTable3, workload.TagTable5, workload.TagIndex},
+		Tags:       []string{workload.TagTable3, workload.TagTable5, workload.TagIndex, workload.TagXFD},
 	})
 }

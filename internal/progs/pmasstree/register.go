@@ -12,6 +12,6 @@ func init() {
 		ModelCheck:  true,
 		Table5Seed:  1,
 		PaperPrefix: 2,
-		Tags:        []string{workload.TagTable3, workload.TagTable5, workload.TagIndex},
+		Tags:        []string{workload.TagTable3, workload.TagTable5, workload.TagIndex, workload.TagXFD},
 	})
 }

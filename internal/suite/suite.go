@@ -103,6 +103,13 @@ type Config struct {
 	// (results identical at any setting).
 	Keyframe int
 	Dedup    engine.DedupMode
+	// Analyses selects the analysis passes every engine run executes (nil =
+	// the engine default, yashme alone). The first selected pass is primary:
+	// each RunResult's top-level Races/RaceCount are its report, and when
+	// more than one pass runs, RunResult.Analyses carries the per-pass
+	// breakdown. Non-default passes must be linked into the binary
+	// (blank-import yashme/internal/analysis/all).
+	Analyses []string
 	// Sequential runs benchmarks one at a time instead of concurrently.
 	// Results are identical (the determinism tests prove it); wall-clock
 	// fields are the only observable difference, so use it when per-run
@@ -119,6 +126,17 @@ type Summary struct {
 	Tags       []string `json:"tags,omitempty"`
 	Names      []string `json:"names,omitempty"`
 	Variants   []string `json:"variants"`
+	Analyses   []string `json:"analyses,omitempty"`
+}
+
+// AnalysisResult is one analysis pass's deduplicated report within a run
+// (only emitted when a run executes more than one pass; the primary pass's
+// report is also the RunResult's top-level Races/RaceCount).
+type AnalysisResult struct {
+	Name      string        `json:"name"`
+	Races     []report.Race `json:"races,omitempty"`
+	Benign    []report.Race `json:"benign,omitempty"`
+	RaceCount int           `json:"race_count"`
 }
 
 // RunResult is the outcome of one engine run of one benchmark.
@@ -131,7 +149,11 @@ type RunResult struct {
 	Benign []report.Race `json:"benign,omitempty"`
 	// RaceCount is len(Races), denormalized for cheap consumers
 	// (cmd/benchguard's canary reads it without touching the race rows).
-	RaceCount   int                `json:"race_count"`
+	RaceCount int `json:"race_count"`
+	// Analyses is the per-pass breakdown when the run executed more than
+	// one analysis pass (Config.Analyses), in pass order; empty on
+	// single-pass runs, whose report IS the top-level Races.
+	Analyses    []AnalysisResult   `json:"analyses,omitempty"`
 	Executions  int                `json:"executions"`
 	CrashPoints int                `json:"crash_points"`
 	Stats       engine.Stats       `json:"stats"`
@@ -139,6 +161,18 @@ type RunResult struct {
 	// ElapsedNs is the run's wall-clock time. It is the one
 	// non-deterministic field of a Result; Canonical zeroes it.
 	ElapsedNs int64 `json:"elapsed_ns"`
+}
+
+// Analysis returns the run's per-pass result for a named pass, or nil —
+// including on single-pass runs, where the top-level Races are the only
+// report.
+func (r *RunResult) Analysis(name string) *AnalysisResult {
+	for i := range r.Analyses {
+		if r.Analyses[i].Name == name {
+			return &r.Analyses[i]
+		}
+	}
+	return nil
 }
 
 // Bench is every run of one benchmark.
@@ -413,6 +447,7 @@ func Run(cfg Config) *Result {
 			Tags:       cfg.Tags,
 			Names:      cfg.Names,
 			Variants:   groups,
+			Analyses:   cfg.Analyses,
 		},
 		Benchmarks: make([]Bench, len(specs)),
 	}
@@ -429,10 +464,11 @@ func Run(cfg Config) *Result {
 			opts.DirectRun = cfg.DirectRun
 			opts.Keyframe = cfg.Keyframe
 			opts.Dedup = cfg.Dedup
+			opts.Analyses = cfg.Analyses
 			opts.Budget = budget
 			start := time.Now()
 			er := engine.Run(spec.Make, opts)
-			bench.Runs = append(bench.Runs, RunResult{
+			run := RunResult{
 				Variant:     j.variant,
 				Races:       er.Report.Races(),
 				Benign:      er.Report.Benign(),
@@ -442,7 +478,19 @@ func Run(cfg Config) *Result {
 				Stats:       er.Stats,
 				Window:      er.Window,
 				ElapsedNs:   time.Since(start).Nanoseconds(),
-			})
+			}
+			if len(er.Passes) > 1 {
+				run.Analyses = make([]AnalysisResult, len(er.Passes))
+				for k, p := range er.Passes {
+					run.Analyses[k] = AnalysisResult{
+						Name:      p.Name,
+						Races:     p.Report.Races(),
+						Benign:    p.Report.Benign(),
+						RaceCount: p.Report.Count(),
+					}
+				}
+			}
+			bench.Runs = append(bench.Runs, run)
 		}
 		res.Benchmarks[i] = bench
 	}

@@ -276,6 +276,82 @@ func BugIndexText(res *suite.Result) string {
 	return b.String()
 }
 
+// --- E23: Yashme vs XFDetector (§1/§8 comparison) ---
+
+// ComparisonRow is one benchmark row of the Yashme-vs-XFDetector
+// comparison: per-pass race counts read from ONE stacked suite run
+// (Config.Analyses = yashme,xfd — both detectors observed the same
+// simulated executions). YashmeFlushed counts the Yashme races whose
+// racing store was flushed before the crash: the bug class the
+// cross-failure FSM structurally cannot flag, since a persisted store is
+// always clean in its state machine.
+type ComparisonRow struct {
+	Benchmark     string
+	Yashme        int
+	XFD           int
+	YashmeFlushed int
+}
+
+// Comparison extracts the per-benchmark Yashme/XFD race counts from a
+// stacked suite result's races runs. Benchmarks whose races run lacks a
+// per-pass breakdown for both detectors (single-pass configs, workloads
+// not tagged for the cross-failure model) are skipped.
+func Comparison(res *suite.Result) []ComparisonRow {
+	var rows []ComparisonRow
+	for i := range res.Benchmarks {
+		bench := &res.Benchmarks[i]
+		run := bench.Run(suite.RunRaces)
+		if run == nil {
+			continue
+		}
+		y, x := run.Analysis("yashme"), run.Analysis("xfd")
+		if y == nil || x == nil {
+			continue
+		}
+		row := ComparisonRow{Benchmark: bench.Name, Yashme: y.RaceCount, XFD: x.RaceCount}
+		for _, r := range y.Races {
+			if r.Flushed {
+				row.YashmeFlushed++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ComparisonText renders the Yashme-vs-XFD comparison table.
+func ComparisonText(rows []ComparisonRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %8s %14s %6s   (one simulation, both detectors)\n",
+		"Benchmark", "Yashme", "Yashme-flushed", "XFD")
+	ty, tf, tx := 0, 0, 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %8d %14d %6d\n", r.Benchmark, r.Yashme, r.YashmeFlushed, r.XFD)
+		ty += r.Yashme
+		tf += r.YashmeFlushed
+		tx += r.XFD
+	}
+	fmt.Fprintf(&b, "%-15s %8d %14d %6d   (flushed-store races are invisible to the cross-failure FSM)\n",
+		"TOTAL", ty, tf, tx)
+	return b.String()
+}
+
+// ComparisonMarkdown renders the comparison as a Markdown table.
+func ComparisonMarkdown(rows []ComparisonRow) string {
+	var b strings.Builder
+	b.WriteString("| Benchmark | Yashme races | ...on flushed stores | XFD cross-failure races |\n")
+	b.WriteString("|---|---|---|---|\n")
+	ty, tf, tx := 0, 0, 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d |\n", r.Benchmark, r.Yashme, r.YashmeFlushed, r.XFD)
+		ty += r.Yashme
+		tf += r.YashmeFlushed
+		tx += r.XFD
+	}
+	fmt.Fprintf(&b, "| **total** | **%d** | **%d** | **%d** |\n", ty, tf, tx)
+	return b.String()
+}
+
 // --- E9: detection-window histogram (Figures 5(b)/6, quantified) ---
 
 // WindowText renders the per-crash-point race histogram for a benchmark in

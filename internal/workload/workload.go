@@ -42,6 +42,11 @@ const (
 	// TagFramework marks the full-framework workloads (PMDK, Redis,
 	// Memcached).
 	TagFramework = "framework"
+	// TagXFD marks the benchmarks of the Yashme-vs-XFDetector comparison
+	// (§1, §8): single-pre-crash-worker model-checked indexes, where the
+	// cross-failure baseline's "one given execution" semantics are
+	// well-defined.
+	TagXFD = "xfd"
 )
 
 // Spec describes one benchmark program and how the paper evaluated it.

@@ -1,0 +1,81 @@
+package xfd_test
+
+import (
+	"reflect"
+	"testing"
+
+	"yashme/internal/engine"
+	"yashme/internal/workload"
+
+	_ "yashme/internal/workload/all"
+)
+
+// xfdGolden pins the cross-failure races the retired mini-runner
+// (xfd/run.go, deleted when the pass moved into the engine) reported on
+// every TagXFD workload: the racing field sets, extracted by running it one
+// last time before deletion. The engine-hosted pass must keep reporting
+// exactly these — same semantics, new substrate.
+var xfdGolden = map[string][]string{
+	"CCEH": {"Pair.key", "Pair.value"},
+	"Fast_Fair": {
+		"btree.root", "entry.key", "entry.ptr",
+		"header.last_index", "header.sibling_ptr", "header.switch_counter",
+	},
+	"P-ART": {
+		"DeletionList.added", "DeletionList.deletitionListCount",
+		"DeletionList.headDeletionList", "DeletionList.thresholdCounter",
+		"LabelDelete.nodesCount",
+		"N.child0", "N.child1", "N.child2", "N.child3", "N.child4", "N.child5",
+		"N.compactCount", "N.count",
+		"N.key0", "N.key1", "N.key2", "N.key3", "N.key4", "N.key5",
+	},
+	"P-BwTree":   {"BwTreeBase.epoch", "mapping_table.head"},
+	"P-Masstree": {"leafnode.next", "leafnode.permutation", "masstree.root_"},
+}
+
+// xfdEngineOpts is the engine configuration equivalent to the mini-runner's
+// semantics: one deterministic sequential schedule, a crash before every
+// flush/fence point plus the completion power loss, and the committed state
+// standing in for the PM image (PersistLatest — the FSM, not the values,
+// decides raciness, so only the latest-store provenance matters).
+func xfdEngineOpts() engine.Options {
+	return engine.Options{
+		Mode:            engine.ModelCheck,
+		PersistPolicies: []engine.PersistPolicy{engine.PersistLatest},
+		Analyses:        []string{"xfd"},
+		Seed:            1,
+	}
+}
+
+// TestEngineMatchesGoldens runs the xfd pass through the engine on every
+// TagXFD workload and asserts the racing field sets the mini-runner
+// established. StoreSeq/Addr are deliberately not compared: the engine's
+// recovery machine restarts sequence numbers per execution while the
+// mini-runner's single machine kept counting, and report dedup keys on
+// (benchmark, field) anyway.
+func TestEngineMatchesGoldens(t *testing.T) {
+	specs := workload.Tagged(workload.TagXFD)
+	if len(specs) != len(xfdGolden) {
+		t.Fatalf("TagXFD specs = %d, goldens = %d", len(specs), len(xfdGolden))
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			want, ok := xfdGolden[spec.Name]
+			if !ok {
+				t.Fatalf("no golden for TagXFD workload %q", spec.Name)
+			}
+			res := engine.Run(spec.Make, xfdEngineOpts())
+			if len(res.Passes) != 1 || res.Passes[0].Name != "xfd" {
+				t.Fatalf("Passes = %+v, want the single xfd pass", res.Passes)
+			}
+			got := res.Report.Fields()
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("engine xfd races = %v\nwant (mini-runner golden) %v", got, want)
+			}
+			if res.Report != res.Passes[0].Report {
+				t.Errorf("Result.Report does not alias the primary pass report")
+			}
+		})
+	}
+}

@@ -19,14 +19,30 @@
 // units; a store that WAS flushed before the crash is always clean, no
 // matter how the compiler might tear it — which is exactly the blind spot
 // persistency races live in.
+//
+// The detector is an analysis.Pass: it registers itself as "xfd" and runs
+// through the engine's analysis stack (-analyses=yashme,xfd), riding the
+// same workers, solo-run leases, delta checkpoints and crash-image
+// memoization as the Yashme detector. Like the original XFDetector it only
+// ever classifies reads of THE GIVEN execution — no prefix derivation, no
+// candidate read sets; the deliberately modest analysis is the comparison.
 package xfd
 
 import (
+	"sort"
+
+	"yashme/internal/analysis"
 	"yashme/internal/pmm"
 	"yashme/internal/report"
 	"yashme/internal/tso"
 	"yashme/internal/vclock"
 )
+
+func init() {
+	analysis.Register("xfd", func(cfg analysis.Config) analysis.Pass {
+		return New(cfg.Benchmark, cfg.Labeler)
+	})
+}
 
 // persistState is the per-store commit/persist FSM XFDetector tracks
 // ("a finite state machine to track the consistency and persistency of
@@ -50,57 +66,83 @@ type storeInfo struct {
 }
 
 // Detector is the cross-failure race detector. It implements tso.Listener
-// for the pre-crash execution; after the crash, CheckRead classifies each
-// post-failure read.
+// for every execution's event stream; after a crash, CrashRead classifies
+// each post-failure read against the FSM.
 type Detector struct {
 	benchmark string
 	labeler   func(pmm.Addr) string
 
-	stores map[pmm.Addr]*storeInfo
+	stores map[pmm.Addr]storeInfo
+	// lines indexes the stored addresses per cache line, so the flush
+	// transitions walk only the flushed line instead of every store.
+	lines map[pmm.Line][]pmm.Addr
 	// pendingWB: clwb-covered addresses per thread awaiting a fence.
 	pendingWB map[vclock.TID][]pmm.Addr
 	report    *report.Set
 }
 
-// New returns a detector for one pre-crash execution.
+// New returns a detector for one scenario.
 func New(benchmark string, labeler func(pmm.Addr) string) *Detector {
 	return &Detector{
 		benchmark: benchmark,
 		labeler:   labeler,
-		stores:    make(map[pmm.Addr]*storeInfo),
+		stores:    make(map[pmm.Addr]storeInfo),
+		lines:     make(map[pmm.Line][]pmm.Addr),
 		pendingWB: make(map[vclock.TID][]pmm.Addr),
 		report:    report.NewSet(),
 	}
 }
 
+// Name implements analysis.Pass.
+func (d *Detector) Name() string { return "xfd" }
+
 // Report returns the accumulated cross-failure race reports.
 func (d *Detector) Report() *report.Set { return d.report }
+
+// set records info for addr, registering a fresh address on its line.
+func (d *Detector) set(addr pmm.Addr, info storeInfo) {
+	if _, seen := d.stores[addr]; !seen {
+		line := pmm.LineOf(addr)
+		d.lines[line] = append(d.lines[line], addr)
+	}
+	d.stores[addr] = info
+}
+
+// SeedPersisted implements analysis.Pass: Setup-time initial values are
+// durable by definition.
+func (d *Detector) SeedPersisted(addr pmm.Addr) {
+	d.set(addr, storeInfo{state: statePersisted})
+}
+
+// EndExecution implements analysis.Pass. The FSM survives the crash
+// unchanged: XFDetector resumes on the real PM image, and the FSM — not the
+// values — decides raciness.
+func (d *Detector) EndExecution(vclock.Seq) {}
 
 // StoreCommitted implements tso.Listener: the address regresses to
 // Modified. Note the FSM is per ADDRESS, not per byte — stores are modelled
 // as atomic units, the blind spot the paper identifies.
 func (d *Detector) StoreCommitted(rec *tso.CommittedStore) {
-	d.stores[rec.Addr] = &storeInfo{seq: rec.Seq, tid: rec.TID, state: stateModified}
+	d.set(rec.Addr, storeInfo{seq: rec.Seq, tid: rec.TID, state: stateModified})
 }
 
 // CLFlushCommitted implements tso.Listener: every store on the line is now
 // persisted.
 func (d *Detector) CLFlushCommitted(_ vclock.TID, addr pmm.Addr, _ vclock.Seq, _ vclock.VC) {
-	line := pmm.LineOf(addr)
-	for a, s := range d.stores {
-		if pmm.LineOf(a) == line {
-			s.state = statePersisted
-		}
+	for _, a := range d.lines[pmm.LineOf(addr)] {
+		s := d.stores[a]
+		s.state = statePersisted
+		d.stores[a] = s
 	}
 }
 
 // CLWBBuffered implements tso.Listener: stores on the line advance to
 // Writeback, pending the thread's next fence.
 func (d *Detector) CLWBBuffered(tid vclock.TID, addr pmm.Addr, _ vclock.VC) {
-	line := pmm.LineOf(addr)
-	for a, s := range d.stores {
-		if pmm.LineOf(a) == line && s.state == stateModified {
+	for _, a := range d.lines[pmm.LineOf(addr)] {
+		if s := d.stores[a]; s.state == stateModified {
 			s.state = stateWriteback
+			d.stores[a] = s
 			d.pendingWB[tid] = append(d.pendingWB[tid], a)
 		}
 	}
@@ -109,10 +151,10 @@ func (d *Detector) CLWBBuffered(tid vclock.TID, addr pmm.Addr, _ vclock.VC) {
 // CLWBPersisted implements tso.Listener: the fence completed the
 // write-back.
 func (d *Detector) CLWBPersisted(flush tso.FBEntry, fenceTID vclock.TID, _ vclock.Seq, _ vclock.VC) {
-	line := pmm.LineOf(flush.Addr)
-	for a, s := range d.stores {
-		if pmm.LineOf(a) == line && s.state == stateWriteback {
+	for _, a := range d.lines[pmm.LineOf(flush.Addr)] {
+		if s := d.stores[a]; s.state == stateWriteback {
 			s.state = statePersisted
+			d.stores[a] = s
 		}
 	}
 }
@@ -123,18 +165,31 @@ func (d *Detector) FenceCommitted(tid vclock.TID, _ vclock.Seq, _ vclock.VC) {
 	for _, a := range d.pendingWB[tid] {
 		if s, ok := d.stores[a]; ok && s.state == stateWriteback {
 			s.state = statePersisted
+			d.stores[a] = s
 		}
 	}
 	d.pendingWB[tid] = nil
 }
 
-var _ tso.Listener = (*Detector)(nil)
+var (
+	_ tso.Listener  = (*Detector)(nil)
+	_ analysis.Pass = (*Detector)(nil)
+)
 
-// CheckRead classifies a post-failure read of addr: a cross-failure race is
-// reported iff the last pre-crash store to the address was NOT persisted at
-// the crash. Persisted stores are always clean — atomic or not, torn or not
-// — which is why this detector is structurally unable to report a
+// CrashRead implements analysis.Pass: a cross-failure race is reported iff
+// the last store to the address was NOT persisted at the read. Guarded
+// (checksum-validation) reads are skipped, like Yashme's benign
+// classification. Persisted stores are always clean — atomic or not, torn
+// or not — which is why this detector is structurally unable to report a
 // persistency race on a flushed store.
+func (d *Detector) CrashRead(addr pmm.Addr, guarded bool) *report.Race {
+	if guarded {
+		return nil
+	}
+	return d.CheckRead(addr)
+}
+
+// CheckRead classifies a post-failure read of addr against the FSM.
 func (d *Detector) CheckRead(addr pmm.Addr) *report.Race {
 	s, ok := d.stores[addr]
 	if !ok || s.state == statePersisted {
@@ -150,4 +205,92 @@ func (d *Detector) CheckRead(addr pmm.Addr) *report.Race {
 	}
 	d.report.Add(r)
 	return &r
+}
+
+// Clone implements analysis.Pass: an independent deep copy. Snapshots store
+// clones as read-only templates and every resume clones again.
+func (d *Detector) Clone() analysis.Pass {
+	c := &Detector{
+		benchmark: d.benchmark,
+		labeler:   d.labeler,
+		stores:    make(map[pmm.Addr]storeInfo, len(d.stores)),
+		lines:     make(map[pmm.Line][]pmm.Addr, len(d.lines)),
+		pendingWB: make(map[vclock.TID][]pmm.Addr, len(d.pendingWB)),
+		report:    d.report.Clone(),
+	}
+	for a, s := range d.stores {
+		c.stores[a] = s
+	}
+	for l, addrs := range d.lines {
+		c.lines[l] = append([]pmm.Addr(nil), addrs...)
+	}
+	for tid, addrs := range d.pendingWB {
+		if len(addrs) > 0 {
+			c.pendingWB[tid] = append([]pmm.Addr(nil), addrs...)
+		}
+	}
+	return c
+}
+
+// SetLabeler implements analysis.Pass.
+func (d *Detector) SetLabeler(l func(pmm.Addr) string) { d.labeler = l }
+
+// AppendStateSignature implements analysis.Pass: the FSM serialized in
+// ascending address order plus the pending write-backs per thread — exactly
+// the state CrashRead verdicts are a function of. Two crash points with
+// equal signatures are indistinguishable to this detector.
+func (d *Detector) AppendStateSignature(buf []byte) []byte {
+	addrs := make([]pmm.Addr, 0, len(d.stores))
+	for a := range d.stores {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	buf = sigU64(buf, uint64(len(addrs)))
+	for _, a := range addrs {
+		s := d.stores[a]
+		buf = sigU64(buf, uint64(a))
+		buf = sigU64(buf, uint64(s.seq))
+		buf = sigU64(buf, uint64(s.tid))
+		buf = sigU64(buf, uint64(s.state))
+	}
+	tids := make([]vclock.TID, 0, len(d.pendingWB))
+	for tid, addrs := range d.pendingWB {
+		if len(addrs) > 0 {
+			tids = append(tids, tid)
+		}
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	buf = sigU64(buf, uint64(len(tids)))
+	for _, tid := range tids {
+		buf = sigU64(buf, uint64(tid))
+		buf = sigU64(buf, uint64(len(d.pendingWB[tid])))
+		for _, a := range d.pendingWB[tid] {
+			buf = sigU64(buf, uint64(a))
+		}
+	}
+	return buf
+}
+
+// sigU64 serializes v little-endian into the signature buffer (mirrors the
+// engine's encoding).
+func sigU64(buf []byte, v uint64) []byte {
+	return append(buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// storeInfoBytes is the accounted retained size of one FSM entry (map
+// overhead included, fixed for platform stability).
+const storeInfoBytes = 48
+
+// FootprintBytes implements analysis.Pass.
+func (d *Detector) FootprintBytes() int64 {
+	n := int64(len(d.stores)) * storeInfoBytes
+	for _, addrs := range d.lines {
+		n += int64(len(addrs)) * 8
+	}
+	for _, addrs := range d.pendingWB {
+		n += int64(len(addrs)) * 8
+	}
+	return n
 }

@@ -1,4 +1,4 @@
-package xfd
+package xfd_test
 
 import (
 	"testing"
@@ -8,6 +8,18 @@ import (
 	"yashme/internal/progs/cceh"
 	"yashme/internal/report"
 )
+
+// xfdRun explores every crash point of a program with the xfd pass through
+// the engine (the mini-runner's semantics: one sequential schedule, a
+// failure before every flush/fence point plus the completion power loss).
+func xfdRun(mk func() pmm.Program) *report.Set {
+	return engine.Run(mk, xfdEngineOpts()).Report
+}
+
+// xfdAtCompletion runs only the failure-at-completion scenario.
+func xfdAtCompletion(mk func() pmm.Program) *report.Set {
+	return engine.RunOne(mk, xfdEngineOpts(), 0, engine.PersistLatest, 1).Report
+}
 
 // figure5b is the paper's Figure 5(b) program: the store IS flushed before
 // the crash window closes. Yashme's prefix detector reports the persistency
@@ -43,17 +55,10 @@ func TestCrossFailureDetectorMissesPersistencyRaces(t *testing.T) {
 	}
 	// Crash at completion only (both stores persisted): XFDetector sees a
 	// clean FSM — no cross-failure race, no persistency race, nothing.
-	set := reportAtCompletion(figure5b)
+	set := xfdAtCompletion(figure5b)
 	if set.Count() != 0 {
 		t.Fatalf("cross-failure detector reported %d races on the fully-flushed execution", set.Count())
 	}
-}
-
-// reportAtCompletion runs only the failure-at-completion scenario.
-func reportAtCompletion(mk func() pmm.Program) *report.Set {
-	merged := report.NewSet()
-	runOnce(mk, 0, merged)
-	return merged
 }
 
 // The detector DOES find genuine cross-failure races: reading a store that
@@ -73,7 +78,7 @@ func TestCrossFailureDetectorFindsUnflushedReads(t *testing.T) {
 			PostCrash: func(t *pmm.Thread) { t.Load64(x) },
 		}
 	}
-	set := Run(mk)
+	set := xfdRun(mk)
 	if set.Count() != 1 {
 		t.Fatalf("cross-failure races = %d, want 1", set.Count())
 	}
@@ -98,7 +103,7 @@ func TestFSMWritebackNeedsFence(t *testing.T) {
 			PostCrash: func(t *pmm.Thread) { t.Load64(x) },
 		}
 	}
-	if got := Run(mkNoFence).Count(); got != 1 {
+	if got := xfdRun(mkNoFence).Count(); got != 1 {
 		t.Fatalf("clwb-without-fence races = %d, want 1", got)
 	}
 	mkFence := func() pmm.Program {
@@ -116,7 +121,7 @@ func TestFSMWritebackNeedsFence(t *testing.T) {
 		}
 	}
 	// Failure AT the persist points still races; at completion it is clean.
-	set := reportAtCompletion(mkFence)
+	set := xfdAtCompletion(mkFence)
 	if set.Count() != 0 {
 		t.Fatalf("persisted store flagged: %v", set.Races())
 	}
@@ -141,7 +146,7 @@ func TestGuardedReadsSkipped(t *testing.T) {
 			},
 		}
 	}
-	if got := Run(mk).Count(); got != 0 {
+	if got := xfdRun(mk).Count(); got != 0 {
 		t.Fatalf("guarded read flagged: %d", got)
 	}
 }
@@ -151,7 +156,7 @@ func TestGuardedReadsSkipped(t *testing.T) {
 // while ONLY Yashme reports races on stores that were flushed before the
 // crash (the prefix-derived persistency races).
 func TestComparisonOnCCEH(t *testing.T) {
-	xfdSet := Run(cceh.New(4, nil))
+	xfdSet := xfdRun(cceh.New(4, nil))
 	yash := engine.Run(cceh.New(4, nil), engine.Options{Mode: engine.ModelCheck, Prefix: true})
 
 	flushedRaces := 0
@@ -192,7 +197,7 @@ func TestAtomicUnpersistedIsCrossFailureOnly(t *testing.T) {
 			PostCrash: func(t *pmm.Thread) { t.LoadAcquire64(x) },
 		}
 	}
-	if got := Run(mk).Count(); got != 1 {
+	if got := xfdRun(mk).Count(); got != 1 {
 		t.Fatalf("cross-failure races = %d, want 1 (unpersisted read)", got)
 	}
 	y := engine.Run(mk, engine.Options{Mode: engine.ModelCheck, Prefix: true})
