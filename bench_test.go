@@ -137,23 +137,32 @@ func BenchmarkTable3Parallel(b *testing.B) {
 // committed artifact in CI.
 func BenchmarkSuiteTable3(b *testing.B) {
 	type benchStat struct {
-		Races            int   `json:"races"`
-		XFDRaces         int   `json:"xfd_races,omitempty"`
-		SimulatedOps     int64 `json:"simulated_ops"`
-		Handoffs         int64 `json:"handoffs"`
-		DirectOps        int64 `json:"direct_ops"`
-		SnapshotBytes    int64 `json:"snapshot_bytes"`
-		JournalOps       int64 `json:"journal_ops"`
-		DedupedScenarios int64 `json:"deduped_scenarios"`
+		Races            int    `json:"races"`
+		XFDRaces         int    `json:"xfd_races,omitempty"`
+		SimulatedOps     int64  `json:"simulated_ops"`
+		Handoffs         int64  `json:"handoffs"`
+		DirectOps        int64  `json:"direct_ops"`
+		SnapshotBytes    int64  `json:"snapshot_bytes"`
+		JournalOps       int64  `json:"journal_ops"`
+		DedupedScenarios int64  `json:"deduped_scenarios"`
+		ClockInterned    int64  `json:"clock_interned"`
+		EpochHits        int64  `json:"epoch_hits"`
+		EpochMisses      int64  `json:"epoch_misses"`
+		AllocsPerOp      uint64 `json:"allocs_per_op"`
+		BytesPerOp       uint64 `json:"bytes_per_op"`
 	}
 	type measurement struct {
 		NsPerOp          int64                 `json:"ns_per_op"`
+		ClockIntern      bool                  `json:"clock_intern"`
 		SimulatedOps     int64                 `json:"simulated_ops"`
 		Handoffs         int64                 `json:"handoffs"`
 		DirectOps        int64                 `json:"direct_ops"`
 		SnapshotBytes    int64                 `json:"snapshot_bytes"`
 		JournalOps       int64                 `json:"journal_ops"`
 		DedupedScenarios int64                 `json:"deduped_scenarios"`
+		ClockInterned    int64                 `json:"clock_interned"`
+		EpochHits        int64                 `json:"epoch_hits"`
+		EpochMisses      int64                 `json:"epoch_misses"`
 		Races            float64               `json:"races"`
 		XFDRaces         float64               `json:"xfd_races,omitempty"`
 		AllocsPerOp      uint64                `json:"allocs_per_op"`
@@ -166,16 +175,21 @@ func BenchmarkSuiteTable3(b *testing.B) {
 		ck       engine.CheckpointMode
 		direct   engine.DirectRunMode
 		analyses []string
+		intern   engine.ClockInternMode
 	}{
-		{"on", engine.CheckpointOn, engine.DirectRunOn, nil},
-		{"off", engine.CheckpointOff, engine.DirectRunOn, nil},
-		{"on-nodirect", engine.CheckpointOn, engine.DirectRunOff, nil},
-		{"off-nodirect", engine.CheckpointOff, engine.DirectRunOff, nil},
+		{"on", engine.CheckpointOn, engine.DirectRunOn, nil, engine.ClockInternOn},
+		{"off", engine.CheckpointOff, engine.DirectRunOn, nil, engine.ClockInternOn},
+		{"on-nodirect", engine.CheckpointOn, engine.DirectRunOff, nil, engine.ClockInternOn},
+		{"off-nodirect", engine.CheckpointOff, engine.DirectRunOff, nil, engine.ClockInternOn},
 		// The stacked mode runs both detectors over the one simulation
 		// (E23): the yashme race count must not move, the xfd count is the
 		// cross-failure baseline's, and the ns/op delta is the marginal cost
 		// of the second pass.
-		{"stacked", engine.CheckpointOn, engine.DirectRunOn, []string{"yashme", "xfd"}},
+		{"stacked", engine.CheckpointOn, engine.DirectRunOn, []string{"yashme", "xfd"}, engine.ClockInternOn},
+		// The owned mode is the -clockintern=false escape hatch (E24): one
+		// private clock snapshot per commit, epoch fast path off. Identical
+		// results; the allocs/bytes delta against "on" is the interning win.
+		{"owned", engine.CheckpointOn, engine.DirectRunOn, nil, engine.ClockInternOff},
 	} {
 		mode := mode
 		m := &measurement{Benchmarks: map[string]*benchStat{}}
@@ -190,11 +204,12 @@ func BenchmarkSuiteTable3(b *testing.B) {
 			runtime.ReadMemStats(&before)
 			for i := 0; i < b.N; i++ {
 				res = suite.Run(suite.Config{
-					Tags:       []string{workload.TagTable3},
-					Variants:   []string{suite.VariantRaces},
-					Checkpoint: mode.ck,
-					DirectRun:  mode.direct,
-					Analyses:   mode.analyses,
+					Tags:        []string{workload.TagTable3},
+					Variants:    []string{suite.VariantRaces},
+					Checkpoint:  mode.ck,
+					DirectRun:   mode.direct,
+					Analyses:    mode.analyses,
+					ClockIntern: mode.intern,
 				})
 			}
 			runtime.ReadMemStats(&after)
@@ -204,12 +219,16 @@ func BenchmarkSuiteTable3(b *testing.B) {
 			b.ReportMetric(float64(stats.SimulatedOps), "simops")
 			b.ReportMetric(float64(stats.Handoffs), "handoffs")
 			m.NsPerOp = b.Elapsed().Nanoseconds() / int64(b.N)
+			m.ClockIntern = mode.intern == engine.ClockInternOn
 			m.SimulatedOps = stats.SimulatedOps
 			m.Handoffs = stats.Handoffs
 			m.DirectOps = stats.DirectOps
 			m.SnapshotBytes = stats.SnapshotBytes
 			m.JournalOps = stats.JournalOps
 			m.DedupedScenarios = stats.DedupedScenarios
+			m.ClockInterned = stats.ClockInterned
+			m.EpochHits = stats.EpochHits
+			m.EpochMisses = stats.EpochMisses
 			m.Races = float64(races)
 			m.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(b.N)
 			m.BytesPerOp = (after.TotalAlloc - before.TotalAlloc) / uint64(b.N)
@@ -227,6 +246,9 @@ func BenchmarkSuiteTable3(b *testing.B) {
 					SnapshotBytes:    run.Stats.SnapshotBytes,
 					JournalOps:       run.Stats.JournalOps,
 					DedupedScenarios: run.Stats.DedupedScenarios,
+					ClockInterned:    run.Stats.ClockInterned,
+					EpochHits:        run.Stats.EpochHits,
+					EpochMisses:      run.Stats.EpochMisses,
 				}
 				if x := run.Analysis("xfd"); x != nil {
 					bs.XFDRaces = x.RaceCount
@@ -237,6 +259,27 @@ func BenchmarkSuiteTable3(b *testing.B) {
 			if m.XFDRaces > 0 {
 				b.ReportMetric(m.XFDRaces, "xfd-races")
 			}
+			// Per-benchmark allocation profile (for cmd/benchguard's
+			// per-benchmark gate): run each workload alone, sequentially,
+			// off the benchmark clock.
+			b.StopTimer()
+			for name := range m.Benchmarks {
+				var bb, ba runtime.MemStats
+				runtime.ReadMemStats(&bb)
+				suite.Run(suite.Config{
+					Names:       []string{name},
+					Variants:    []string{suite.VariantRaces},
+					Checkpoint:  mode.ck,
+					DirectRun:   mode.direct,
+					Analyses:    mode.analyses,
+					ClockIntern: mode.intern,
+					Sequential:  true,
+				})
+				runtime.ReadMemStats(&ba)
+				m.Benchmarks[name].AllocsPerOp = ba.Mallocs - bb.Mallocs
+				m.Benchmarks[name].BytesPerOp = ba.TotalAlloc - bb.TotalAlloc
+			}
+			b.StartTimer()
 		})
 	}
 	artifact := struct {
@@ -244,7 +287,7 @@ func BenchmarkSuiteTable3(b *testing.B) {
 		Benchmark  string                  `json:"benchmark"`
 		Modes      map[string]*measurement `json:"modes"`
 		SimOpsWin  float64                 `json:"simops_ratio_off_over_on"`
-	}{Experiment: "E23", Benchmark: "suite-table3", Modes: results}
+	}{Experiment: "E24", Benchmark: "suite-table3", Modes: results}
 	if on := results["on"].SimulatedOps; on > 0 {
 		artifact.SimOpsWin = float64(results["off"].SimulatedOps) / float64(on)
 	}

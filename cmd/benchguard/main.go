@@ -25,7 +25,15 @@
 //     scheduling or allocation change lands far beyond it;
 //   - allocs_per_op and bytes_per_op get the same -tolerance bar. Allocation
 //     counts are far less noisy than wall-clock, so these catch a refactor
-//     that quietly reintroduces per-resume deep copies.
+//     that quietly reintroduces per-resume deep copies;
+//   - the per-benchmark allocs_per_op breakdown gets the same bar too: the
+//     mode-level number can hide one workload regressing while another
+//     improves, and allocation counts are stable enough per benchmark to
+//     gate individually;
+//   - modes running with clock interning (clock_intern in the artifact) must
+//     report epoch_hits > 0: the detector's O(1) epoch fast path going inert
+//     silently degrades every happens-before check to a vector walk
+//     (-require-epoch=false to waive).
 package main
 
 import (
@@ -39,14 +47,16 @@ import (
 
 // benchStat mirrors the per-benchmark breakdown of a mode.
 type benchStat struct {
-	Races            int   `json:"races"`
-	XFDRaces         int   `json:"xfd_races"`
-	SimulatedOps     int64 `json:"simulated_ops"`
-	Handoffs         int64 `json:"handoffs"`
-	DirectOps        int64 `json:"direct_ops"`
-	SnapshotBytes    int64 `json:"snapshot_bytes"`
-	JournalOps       int64 `json:"journal_ops"`
-	DedupedScenarios int64 `json:"deduped_scenarios"`
+	Races            int    `json:"races"`
+	XFDRaces         int    `json:"xfd_races"`
+	SimulatedOps     int64  `json:"simulated_ops"`
+	Handoffs         int64  `json:"handoffs"`
+	DirectOps        int64  `json:"direct_ops"`
+	SnapshotBytes    int64  `json:"snapshot_bytes"`
+	JournalOps       int64  `json:"journal_ops"`
+	DedupedScenarios int64  `json:"deduped_scenarios"`
+	AllocsPerOp      uint64 `json:"allocs_per_op"`
+	BytesPerOp       uint64 `json:"bytes_per_op"`
 }
 
 // measurement mirrors the per-mode object of BENCH_suite.json (written by
@@ -54,6 +64,10 @@ type benchStat struct {
 // artifact growth.
 type measurement struct {
 	NsPerOp          int64                 `json:"ns_per_op"`
+	ClockIntern      bool                  `json:"clock_intern"`
+	ClockInterned    int64                 `json:"clock_interned"`
+	EpochHits        int64                 `json:"epoch_hits"`
+	EpochMisses      int64                 `json:"epoch_misses"`
 	SimulatedOps     int64                 `json:"simulated_ops"`
 	Handoffs         int64                 `json:"handoffs"`
 	DirectOps        int64                 `json:"direct_ops"`
@@ -116,6 +130,7 @@ func run() error {
 	wantXFD := flag.Float64("xfd-races", 33, "exact cross-failure race count the stacked mode must report (0 = don't check)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns_per_op / allocs_per_op / bytes_per_op regression vs baseline")
 	requireDedup := flag.Bool("require-dedup", true, "checkpoint-on modes must report deduped_scenarios > 0")
+	requireEpoch := flag.Bool("require-epoch", true, "clock-interning modes must report epoch_hits > 0")
 	flag.Parse()
 	if *baselinePath == "" {
 		return fmt.Errorf("-baseline is required")
@@ -158,6 +173,13 @@ func run() error {
 			failures = append(failures, fmt.Sprintf(
 				"mode %q: deduped_scenarios = 0; crash-image memoization is inert", name))
 		}
+		// The epoch fast path must actually fire wherever clock interning is
+		// on; zero hits means every happens-before check fell back to the
+		// component-wise vector walk.
+		if *requireEpoch && m.ClockIntern && m.EpochHits == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"mode %q: epoch_hits = 0; the clock-arena epoch fast path is inert", name))
+		}
 		base, ok := baseline.Modes[name]
 		if !ok || base.NsPerOp <= 0 {
 			fmt.Printf("mode %-14s %12d ns/op  (no baseline)\n", name, m.NsPerOp)
@@ -192,6 +214,25 @@ func run() error {
 				failures = append(failures, fmt.Sprintf(
 					"mode %q: bytes_per_op regressed %.1f%% (limit %.0f%%): %d -> %d",
 					name, (r-1)*100, *tolerance*100, base.BytesPerOp, m.BytesPerOp))
+			}
+		}
+		// Per-benchmark allocation gate: the mode total can hide one workload
+		// regressing while another improves.
+		var benchNames []string
+		for bn := range m.Benchmarks {
+			benchNames = append(benchNames, bn)
+		}
+		sort.Strings(benchNames)
+		for _, bn := range benchNames {
+			bs, bb := m.Benchmarks[bn], base.Benchmarks[bn]
+			if bb == nil || bb.AllocsPerOp == 0 || bs.AllocsPerOp == 0 {
+				continue
+			}
+			r := float64(bs.AllocsPerOp) / float64(bb.AllocsPerOp)
+			if r > 1+*tolerance {
+				failures = append(failures, fmt.Sprintf(
+					"mode %q benchmark %q: allocs_per_op regressed %.1f%% (limit %.0f%%): %d -> %d",
+					name, bn, (r-1)*100, *tolerance*100, bb.AllocsPerOp, bs.AllocsPerOp))
 			}
 		}
 	}

@@ -138,6 +138,17 @@ func (t *Table[T]) CloneCap(n int) Table[T] {
 // Len returns one past the highest slot ever grown to.
 func (t *Table[T]) Len() int { return len(t.slots) }
 
+// Reset empties the table for reuse, keeping the backing array: every slot
+// up to the full capacity is zeroed (growth re-exposes spare capacity,
+// which must read as the zero value) and the length drops to zero. A
+// memset over an existing array is far cheaper than the allocation a fresh
+// table of the same bound would pay.
+func (t *Table[T]) Reset() {
+	s := t.slots[:cap(t.slots)]
+	clear(s)
+	t.slots = s[:0]
+}
+
 // ForEach calls f for every grown slot in ascending address order, including
 // zero-valued ones; f returns false to stop early.
 func (t *Table[T]) ForEach(f func(pmm.Addr, T) bool) {

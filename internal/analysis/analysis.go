@@ -57,6 +57,9 @@ type Config struct {
 	Labeler func(pmm.Addr) string
 	// Suppress lists normalized field labels whose races are annotated away.
 	Suppress []string
+	// OwnedClocks disables the core detector's clock interning (the
+	// engine's ClockInternOff escape hatch); see core.Config.OwnedClocks.
+	OwnedClocks bool
 }
 
 // Pass is one analysis riding the engine's simulation. Beyond the
@@ -161,11 +164,12 @@ func NewStack(names []string, cfg Config) (*Stack, error) {
 	s := &Stack{
 		names: append([]string(nil), names...),
 		model: core.New(core.Config{
-			Prefix:    cfg.Prefix,
-			EADR:      cfg.EADR,
-			Benchmark: cfg.Benchmark,
-			Labeler:   cfg.Labeler,
-			Suppress:  cfg.Suppress,
+			Prefix:      cfg.Prefix,
+			EADR:        cfg.EADR,
+			Benchmark:   cfg.Benchmark,
+			Labeler:     cfg.Labeler,
+			Suppress:    cfg.Suppress,
+			OwnedClocks: cfg.OwnedClocks,
 		}),
 	}
 	seen := make(map[string]bool, len(names))
@@ -339,28 +343,28 @@ func (f *fanout) StoreCommitted(rec *tso.CommittedStore) {
 	}
 }
 
-func (f *fanout) CLFlushCommitted(tid vclock.TID, addr pmm.Addr, seq vclock.Seq, cv vclock.VC) {
+func (f *fanout) CLFlushCommitted(tid vclock.TID, addr pmm.Addr, seq vclock.Seq, cv vclock.Stamp) {
 	f.model.CLFlushCommitted(tid, addr, seq, cv)
 	for _, p := range f.extras {
 		p.CLFlushCommitted(tid, addr, seq, cv)
 	}
 }
 
-func (f *fanout) CLWBBuffered(tid vclock.TID, addr pmm.Addr, cv vclock.VC) {
+func (f *fanout) CLWBBuffered(tid vclock.TID, addr pmm.Addr, cv vclock.Stamp) {
 	f.model.CLWBBuffered(tid, addr, cv)
 	for _, p := range f.extras {
 		p.CLWBBuffered(tid, addr, cv)
 	}
 }
 
-func (f *fanout) CLWBPersisted(flush tso.FBEntry, fenceTID vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.VC) {
+func (f *fanout) CLWBPersisted(flush tso.FBEntry, fenceTID vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.Stamp) {
 	f.model.CLWBPersisted(flush, fenceTID, fenceSeq, fenceCV)
 	for _, p := range f.extras {
 		p.CLWBPersisted(flush, fenceTID, fenceSeq, fenceCV)
 	}
 }
 
-func (f *fanout) FenceCommitted(tid vclock.TID, seq vclock.Seq, cv vclock.VC) {
+func (f *fanout) FenceCommitted(tid vclock.TID, seq vclock.Seq, cv vclock.Stamp) {
 	f.model.FenceCommitted(tid, seq, cv)
 	for _, p := range f.extras {
 		p.FenceCommitted(tid, seq, cv)

@@ -19,11 +19,12 @@ import (
 // Flags is the shared flag set, populated by Register and read after
 // flag.Parse.
 type Flags struct {
-	Workers    int
-	Checkpoint bool
-	DirectRun  bool
-	Keyframe   int
-	Dedup      bool
+	Workers     int
+	Checkpoint  bool
+	DirectRun   bool
+	Keyframe    int
+	Dedup       bool
+	ClockIntern bool
 	Shard      string
 	JSON       bool
 	Tags       string
@@ -41,6 +42,7 @@ func Register() *Flags {
 	flag.BoolVar(&f.DirectRun, "directrun", true, "run a solo runnable thread inline without scheduler handoffs (results identical; =false pays the handshake on every op)")
 	flag.IntVar(&f.Keyframe, "keyframe", 0, "full-clone interval for delta checkpoints (0 = engine default, 1 = every snapshot a full clone; results identical)")
 	flag.BoolVar(&f.Dedup, "dedup", true, "model-check: reuse recovery verdicts of byte-identical crash images (results identical; =false re-simulates every point)")
+	flag.BoolVar(&f.ClockIntern, "clockintern", true, "share deduplicated clock snapshots through an interned arena with an epoch fast path (results identical; =false gives every record an owned clock copy)")
 	flag.StringVar(&f.Shard, "shard", "", "run shard i/n of the suite (deterministic by benchmark name; union of shards == full run)")
 	flag.BoolVar(&f.JSON, "json", false, "emit the unified suite result as JSON instead of rendered output")
 	flag.StringVar(&f.Tags, "tags", "", "comma-separated workload tags to select (e.g. table3,pmdk; empty = all)")
@@ -67,7 +69,7 @@ func (f *Flags) SuiteConfig() (suite.Config, error) {
 		cfg.Tags = strings.Split(f.Tags, ",")
 	}
 	cfg.Analyses = f.AnalysisList()
-	f.applyModes(&cfg.Checkpoint, &cfg.DirectRun, &cfg.Dedup)
+	f.applyModes(&cfg.Checkpoint, &cfg.DirectRun, &cfg.Dedup, &cfg.ClockIntern)
 	return cfg, nil
 }
 
@@ -86,10 +88,10 @@ func (f *Flags) EngineOptions(opts *engine.Options) {
 	opts.Workers = f.Workers
 	opts.Keyframe = f.Keyframe
 	opts.Analyses = f.AnalysisList()
-	f.applyModes(&opts.Checkpoint, &opts.DirectRun, &opts.Dedup)
+	f.applyModes(&opts.Checkpoint, &opts.DirectRun, &opts.Dedup, &opts.ClockIntern)
 }
 
-func (f *Flags) applyModes(ck *engine.CheckpointMode, dr *engine.DirectRunMode, dd *engine.DedupMode) {
+func (f *Flags) applyModes(ck *engine.CheckpointMode, dr *engine.DirectRunMode, dd *engine.DedupMode, ci *engine.ClockInternMode) {
 	if !f.Checkpoint {
 		*ck = engine.CheckpointOff
 	}
@@ -98,6 +100,9 @@ func (f *Flags) applyModes(ck *engine.CheckpointMode, dr *engine.DirectRunMode, 
 	}
 	if !f.Dedup {
 		*dd = engine.DedupOff
+	}
+	if !f.ClockIntern {
+		*ci = engine.ClockInternOff
 	}
 }
 

@@ -2,7 +2,6 @@ package core
 
 import (
 	"yashme/internal/pmm"
-	"yashme/internal/vclock"
 )
 
 // Clone returns a deep copy of the detector — the execution stack with its
@@ -19,7 +18,7 @@ import (
 // tables, per-line state — is copied, so the clone and the original may be
 // mutated independently afterwards.
 func (d *Detector) Clone() *Detector {
-	nd := &Detector{cfg: d.cfg, report: d.report.Clone()}
+	nd := &Detector{cfg: d.cfg, report: d.report.Clone(), arena: d.arena.Clone()}
 	nd.execs = make([]*Execution, len(d.execs))
 	for i, e := range d.execs {
 		nd.execs[i] = e.clone()
@@ -54,23 +53,19 @@ func (e *Execution) cloneSized(stores, flushes int, maxAddr pmm.Addr) *Execution
 		flushArena: append(make([]flushNode, 0, len(e.flushArena)+flushes), e.flushArena...),
 		storeTab:   e.storeTab.CloneCap(addrCap),
 		lineAddrs:  e.lineAddrs.CloneCap(lineCap),
-		lastflush:  e.lastflush.Clone(),
-		cvpre:      e.cvpre.Clone(),
+		lastflush:  e.lastflush.Clone(), // flat: slots are arena refs
+		cvpre:      e.cvpre,
 		persistTab: e.persistTab.CloneCap(addrCap),
 		crashSeq:   e.crashSeq,
 	}
-	// The table clones are flat; detach the reference-typed slot values both
-	// sides may mutate: per-line address lists (appended to on first store)
-	// and per-line flush clocks (joined in place on observation).
+	// The table clones are flat; detach the one reference-typed slot value
+	// both sides may mutate: per-line address lists (appended to on first
+	// store). Per-line flush clocks need no detaching anymore — a slot is a
+	// ref into the immutable clock arena, and observations replace the ref
+	// rather than joining a shared vector in place.
 	ne.lineAddrs.ForEach(func(l pmm.Line, addrs []pmm.Addr) bool {
 		if len(addrs) > 0 {
 			ne.lineAddrs.Set(l, append([]pmm.Addr(nil), addrs...))
-		}
-		return true
-	})
-	ne.lastflush.ForEach(func(l pmm.Line, vc vclock.VC) bool {
-		if len(vc) > 0 {
-			ne.lastflush.Set(l, vc.Clone())
 		}
 		return true
 	})

@@ -97,10 +97,10 @@ func TestCloneNoAliasing(t *testing.T) {
 	if got := len(oe.FlushesOf(oe.Latest(addrZ))); got != 0 {
 		t.Errorf("clone's flush leaked into the original: %d entries", got)
 	}
-	if oe.cvpre.Max() != 0 {
-		t.Errorf("clone's observation extended the original's CVpre: %v", oe.cvpre)
+	if r.d.ClockArena().At(oe.cvpre).Max() != 0 {
+		t.Errorf("clone's observation extended the original's CVpre: %v", r.d.ClockArena().At(oe.cvpre))
 	}
-	if oe.lastflush.At(pmm.LineOf(addrY)).Max() != 0 {
+	if r.d.ClockArena().At(oe.lastflush.At(pmm.LineOf(addrY))).Max() != 0 {
 		t.Errorf("clone's lastflush join leaked into the original")
 	}
 	if oe.WasTorn(oe.Latest(addrX)) {
@@ -118,7 +118,7 @@ func TestCloneNoAliasing(t *testing.T) {
 	if ce.WasTorn(ce.Latest(addrZ)) {
 		t.Error("original's Torn mark leaked into the clone record")
 	}
-	if ce.cvpre.Get(0) != 2 {
-		t.Errorf("clone CVpre = %v, want its own observation of seq 2 only", ce.cvpre)
+	if nd.ClockArena().At(ce.cvpre).Get(0) != 2 {
+		t.Errorf("clone CVpre = %v, want its own observation of seq 2 only", nd.ClockArena().At(ce.cvpre))
 	}
 }

@@ -78,7 +78,7 @@ type StoreRecord struct {
 	Val     uint64
 	TID     vclock.TID
 	Seq     vclock.Seq
-	CV      vclock.VC
+	CV      vclock.Stamp
 	Atomic  bool
 	Release bool
 
@@ -136,10 +136,12 @@ type Execution struct {
 	// lineAddrs: which addresses on each cache line have been stored to,
 	// in first-store order.
 	lineAddrs addridx.LineTable[[]pmm.Addr]
-	// lastflush: line → lower bound clock for the line's write-back.
-	lastflush addridx.LineTable[vclock.VC]
-	// cvpre: how much of this execution later executions have observed.
-	cvpre vclock.VC
+	// lastflush: line → lower bound clock for the line's write-back, as a
+	// ref into the detector's clock arena.
+	lastflush addridx.LineTable[vclock.Ref]
+	// cvpre: how much of this execution later executions have observed
+	// (arena ref; 0 = nothing observed yet).
+	cvpre vclock.Ref
 	// persistTab: per address, the latest store known persisted via an
 	// explicit flush (the engine's candidate windows start here).
 	persistTab addridx.Table[StoreRef]
@@ -248,6 +250,12 @@ type Config struct {
 	// consumed by checksum validation (§7.5, "a future implementation of
 	// Yashme could use annotations to suppress race warnings").
 	Suppress []string
+	// OwnedClocks disables clock interning (the -clockintern=false escape
+	// hatch): the arena appends a private materialized clock per record
+	// instead of deduplicating snapshots, and the epoch join fast path is
+	// off. Observable results are identical either way; only cost counters
+	// move.
+	OwnedClocks bool
 }
 
 // suppressed reports whether the label is annotated away.
@@ -267,6 +275,11 @@ type Detector struct {
 	cfg    Config
 	execs  []*Execution
 	report *report.Set
+	// arena holds every clock snapshot the detector's state refers to:
+	// record stamps, per-line lastflush refs and cvpre all resolve here.
+	// The engine points the simulating tso.Machine at the same arena
+	// (Machine.UseArena) so stamps cross the listener boundary by value.
+	arena *vclock.Arena
 	// journal, when attached (SetJournal), records every mutation of the
 	// current execution so the engine's delta checkpoints can replay them
 	// (journal.go). Never inherited by clones.
@@ -275,10 +288,14 @@ type Detector struct {
 
 // New returns a detector with an initial (first pre-crash) execution.
 func New(cfg Config) *Detector {
-	d := &Detector{cfg: cfg, report: report.NewSet()}
+	d := &Detector{cfg: cfg, report: report.NewSet(), arena: vclock.NewArena(cfg.OwnedClocks)}
 	d.execs = append(d.execs, newExecution(0))
 	return d
 }
+
+// ClockArena returns the arena the detector's stamps and refs resolve in.
+// The engine shares it with each execution's tso.Machine.
+func (d *Detector) ClockArena() *vclock.Arena { return d.arena }
 
 // Report returns the accumulated race reports.
 func (d *Detector) Report() *report.Set { return d.report }
@@ -328,39 +345,39 @@ func (d *Detector) StoreCommitted(rec *tso.CommittedStore) {
 // recorded flush ordered before this one, record ⟨τ, σ_clflush⟩ in its
 // flushmap entry. The store is also the new persist lower bound for its
 // address.
-func (d *Detector) CLFlushCommitted(tid vclock.TID, addr pmm.Addr, seq vclock.Seq, cv vclock.VC) {
+func (d *Detector) CLFlushCommitted(tid vclock.TID, addr pmm.Addr, seq vclock.Seq, cv vclock.Stamp) {
 	d.applyFlush(pmm.LineOf(addr), cv, tid, seq, cv)
 }
 
 // CLWBBuffered is a no-op for the detector: a clwb guarantees nothing until
 // a fence (paper Figure 4b).
-func (d *Detector) CLWBBuffered(vclock.TID, pmm.Addr, vclock.VC) {}
+func (d *Detector) CLWBBuffered(vclock.TID, pmm.Addr, vclock.Stamp) {}
 
 // CLWBPersisted implements Evict_FB: a fence made a buffered clwb durable.
 // A store is covered if it happens-before the clwb (flush.CV); the flush
 // identity recorded is the fence.
-func (d *Detector) CLWBPersisted(flush tso.FBEntry, fenceTID vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.VC) {
+func (d *Detector) CLWBPersisted(flush tso.FBEntry, fenceTID vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.Stamp) {
 	d.applyFlush(pmm.LineOf(flush.Addr), flush.CV, fenceTID, fenceSeq, fenceCV)
 }
 
 // FenceCommitted needs no detector action beyond what CLWBPersisted did.
-func (d *Detector) FenceCommitted(vclock.TID, vclock.Seq, vclock.VC) {}
+func (d *Detector) FenceCommitted(vclock.TID, vclock.Seq, vclock.Stamp) {}
 
 // applyFlush records a flush for every latest store on the line covered by
 // coverCV, unless an already-recorded flush is ordered before this flush
 // (orderCV) — the "first flush per thread" rule of Figure 8.
-func (d *Detector) applyFlush(line pmm.Line, coverCV vclock.VC, flushTID vclock.TID, flushSeq vclock.Seq, orderCV vclock.VC) {
+func (d *Detector) applyFlush(line pmm.Line, coverCV vclock.Stamp, flushTID vclock.TID, flushSeq vclock.Seq, orderCV vclock.Stamp) {
 	e := d.Current()
 	for _, a := range e.lineAddrs.At(line) {
 		ref := e.storeTab.At(a)
 		s := e.ByRef(ref)
-		if s == nil || !coverCV.Contains(s.TID, s.Seq) {
+		if s == nil || !d.arena.Contains(coverCV, s.TID, s.Seq) {
 			continue // store did not happen-before the flush
 		}
 		already := false
 		for n := e.meta[ref-1].flushHead; n != 0; n = e.flushArena[n-1].next {
 			f := e.flushArena[n-1].ref
-			if orderCV.Contains(f.TID, f.Seq) {
+			if d.arena.Contains(orderCV, f.TID, f.Seq) {
 				already = true // an earlier flush is ordered before this one
 				break
 			}
@@ -407,15 +424,32 @@ var _ tso.Listener = (*Detector)(nil)
 // (Jaaru's candidate sets); ObserveRead then commits the store actually
 // read.
 func (d *Detector) CheckCandidate(e *Execution, s *StoreRecord, guarded bool) *report.Race {
+	if r, ok := d.checkCandidate(e, s, guarded); ok {
+		return &r
+	}
+	return nil
+}
+
+// CandidateRaced is CheckCandidate for callers that only need the verdict:
+// it records the race identically but never materializes the report on the
+// heap. The engine's candidate loop checks every store a post-crash load
+// could have read from, so this path runs orders of magnitude more often
+// than races are actually new.
+func (d *Detector) CandidateRaced(e *Execution, s *StoreRecord, guarded bool) bool {
+	_, ok := d.checkCandidate(e, s, guarded)
+	return ok
+}
+
+func (d *Detector) checkCandidate(e *Execution, s *StoreRecord, guarded bool) (report.Race, bool) {
 	if s == nil || s.Seq == 0 || s.Atomic {
-		return nil // initial values and atomic stores cannot tear
+		return report.Race{}, false // initial values and atomic stores cannot tear
 	}
 	line := pmm.LineOf(s.Addr)
 	// Condition 2 (coherence): if the post-crash execution already read an
 	// atomic release store on this line ordered after s, the line persisted
 	// after s completed.
-	if lf := e.lastflush.At(line); lf.Contains(s.TID, s.Seq) {
-		return nil
+	if d.arena.RefContains(e.lastflush.At(line), s.TID, s.Seq) {
+		return report.Race{}, false
 	}
 	if d.cfg.EADR {
 		// eADR: commitment is persistence. The store is safe as soon as the
@@ -423,8 +457,8 @@ func (d *Detector) CheckCandidate(e *Execution, s *StoreRecord, guarded bool) *r
 		// observation proves the store completed before the crash); the
 		// store's own observation proves nothing — the crash could have
 		// interrupted the torn store itself.
-		if e.cvpre.Get(s.TID) > s.Seq {
-			return nil
+		if d.arena.RefGet(e.cvpre, s.TID) > s.Seq {
+			return report.Race{}, false
 		}
 	} else {
 		// Conditions 3–4 (explicit flushes): a recorded flush defeats the
@@ -432,17 +466,18 @@ func (d *Detector) CheckCandidate(e *Execution, s *StoreRecord, guarded bool) *r
 		// Baseline mode accepts any flush that happened before the crash.
 		for n := e.meta[s.ref-1].flushHead; n != 0; n = e.flushArena[n-1].next {
 			f := e.flushArena[n-1].ref
-			if !d.cfg.Prefix || e.cvpre.Contains(f.TID, f.Seq) {
-				return nil
+			if !d.cfg.Prefix || d.arena.RefContains(e.cvpre, f.TID, f.Seq) {
+				return report.Race{}, false
 			}
 		}
 	}
-	if d.cfg.suppressed(d.label(s.Addr)) {
-		return nil // annotated away (§7.5)
+	field := d.label(s.Addr)
+	if d.cfg.suppressed(field) {
+		return report.Race{}, false // annotated away (§7.5)
 	}
 	r := report.Race{
 		Benchmark: d.cfg.Benchmark,
-		Field:     d.label(s.Addr),
+		Field:     field,
 		Addr:      uint64(s.Addr),
 		StoreSeq:  uint64(s.Seq),
 		StoreTID:  int(s.TID),
@@ -451,7 +486,7 @@ func (d *Detector) CheckCandidate(e *Execution, s *StoreRecord, guarded bool) *r
 		Flushed:   e.meta[s.ref-1].flushHead != 0,
 	}
 	d.report.Add(r)
-	return &r
+	return r, true
 }
 
 // ObserveRead commits that a later execution actually read store s from
@@ -463,9 +498,10 @@ func (d *Detector) ObserveRead(e *Execution, s *StoreRecord) {
 		return
 	}
 	if s.Atomic && s.Release {
-		e.lastflush.Ptr(pmm.LineOf(s.Addr)).Join(s.CV)
+		lf := e.lastflush.Ptr(pmm.LineOf(s.Addr))
+		*lf = d.arena.JoinStamp(*lf, s.CV)
 	}
-	e.cvpre.Join(s.CV)
+	e.cvpre = d.arena.JoinStamp(e.cvpre, s.CV)
 }
 
 func (d *Detector) label(a pmm.Addr) string {

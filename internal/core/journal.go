@@ -17,6 +17,7 @@ package core
 
 import (
 	"yashme/internal/pmm"
+	"yashme/internal/vclock"
 )
 
 // JournalOpKind discriminates the three detector mutations a pre-crash
@@ -62,6 +63,9 @@ const JournalOpBytes = 32
 type Journal struct {
 	ops   []JournalOp
 	arena []StoreRecord
+	// clocks is the clock arena's frozen snapshot view at detach time:
+	// every stamp or ref recorded by the watched run resolves in it.
+	clocks []vclock.VC
 }
 
 // Mark returns the current segment boundary: ops[lo:hi] for two
@@ -79,6 +83,7 @@ func (d *Detector) SetJournal(j *Journal) {
 	if j == nil && d.journal != nil {
 		e := d.Current()
 		d.journal.arena = e.arena[:len(e.arena):len(e.arena)]
+		d.journal.clocks = d.arena.View()
 	}
 	d.journal = j
 }
@@ -91,6 +96,11 @@ func (d *Detector) SetJournal(j *Journal) {
 // append) rather than copying it. Afterwards the execution is
 // bit-equivalent to a clone taken at hi.
 func (d *Detector) ReplayJournal(j *Journal, lo, hi int) {
+	// Adopt the journal's frozen clock view outright: the clone's own view
+	// is a prefix of it (both came from the watched detector's append-only
+	// arena), so every ref taken at any journal position resolves
+	// identically, including the replayed records' stamps.
+	d.arena.AdoptView(j.clocks)
 	e := d.Current()
 	for i := lo; i < hi; i++ {
 		op := &j.ops[i]
@@ -137,7 +147,7 @@ func (d *Detector) CloneReplay(j *Journal, lo, hi int) *Detector {
 			maxAddr = a
 		}
 	}
-	nd := &Detector{cfg: d.cfg, report: d.report.Clone()}
+	nd := &Detector{cfg: d.cfg, report: d.report.Clone(), arena: d.arena.Clone()}
 	nd.execs = make([]*Execution, len(d.execs))
 	for i, e := range d.execs {
 		if i == len(d.execs)-1 {
@@ -216,7 +226,9 @@ func (d *Detector) FootprintBytes() int64 {
 		n += int64(len(e.meta)) * recMetaBytes
 		n += int64(len(e.flushArena)) * flushNodeBytes
 		n += int64(e.storeTab.Len()+e.persistTab.Len()) * tableSlotBytes
-		n += int64(e.lineAddrs.Len()+e.lastflush.Len()) * lineSlotBytes
+		n += int64(e.lineAddrs.Len()) * lineSlotBytes
+		// lastflush slots shrank from owned clocks to 4-byte arena refs.
+		n += int64(e.lastflush.Len()) * tableSlotBytes
 	}
 	return n
 }

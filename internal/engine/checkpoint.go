@@ -454,6 +454,9 @@ func newSnapshotShell(sc *scenario, point int) *snapshot {
 	snap.stats.DirectOps = 0
 	snap.stats.SnapshotBytes = 0
 	snap.stats.JournalOps = 0
+	snap.stats.ClockInterned = 0
+	snap.stats.EpochHits = 0
+	snap.stats.EpochMisses = 0
 	snap.stats.DedupedScenarios = 0
 	for k, v := range sc.crashPoints {
 		snap.crashPoints[k] = v

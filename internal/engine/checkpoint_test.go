@@ -60,6 +60,9 @@ func TestCheckpointMatchesScratch(t *testing.T) {
 				onStats.DirectOps, offStats.DirectOps = 0, 0
 				onStats.SnapshotBytes, offStats.SnapshotBytes = 0, 0
 				onStats.JournalOps, offStats.JournalOps = 0, 0
+				onStats.ClockInterned, offStats.ClockInterned = 0, 0
+				onStats.EpochHits, offStats.EpochHits = 0, 0
+				onStats.EpochMisses, offStats.EpochMisses = 0, 0
 				onStats.DedupedScenarios, offStats.DedupedScenarios = 0, 0
 				if onStats != offStats {
 					t.Fatalf("seed %d: stats diverge:\non:  %+v\noff: %+v", seed, onStats, offStats)

@@ -26,6 +26,7 @@ import (
 	"yashme/internal/analysis"
 	"yashme/internal/pmm"
 	"yashme/internal/report"
+	"yashme/internal/tso"
 )
 
 // Mode selects how executions and crash points are explored (paper §4:
@@ -129,6 +130,25 @@ const (
 	DedupOff
 )
 
+// ClockInternMode selects the happens-before clock representation. The
+// default (interning on) stores deduplicated immutable clock snapshots in a
+// per-detector arena shared with the simulating machine: committing a
+// store allocates nothing (the record's stamp reuses the thread's shared
+// snapshot plus a packed (τ, σ) self epoch), and the detector's join-heavy
+// observation path answers "already covered?" with an O(1) epoch compare
+// before touching any vector (Stats.EpochHits/EpochMisses). ClockInternOff
+// is the escape hatch reproducing the previous one-owned-clock-per-record
+// cost model. Results are byte-identical in both modes; only the
+// ClockInterned/EpochHits/EpochMisses cost counters differ.
+type ClockInternMode int
+
+const (
+	// ClockInternOn shares deduplicated clock snapshots (default).
+	ClockInternOn ClockInternMode = iota
+	// ClockInternOff gives every record a private materialized clock.
+	ClockInternOff
+)
+
 // DefaultKeyframe is the Options.Keyframe applied when the field is zero:
 // with checkpointing on, every K-th snapshot is a full detector clone (a
 // keyframe) and the snapshots between are delta checkpoints — a reference
@@ -226,6 +246,10 @@ type Options struct {
 	// Dedup controls crash-scenario memoization in ModelCheck (default
 	// DedupOn; see DedupMode). Results are byte-identical in both modes.
 	Dedup DedupMode
+	// ClockIntern controls the interned copy-on-write clock representation
+	// (default ClockInternOn; see ClockInternMode). Results are
+	// byte-identical in both modes.
+	ClockIntern ClockInternMode
 	// MaxOps bounds the simulated operations of one execution (0 =
 	// DefaultMaxOps); exceeding it panics with a diagnostic.
 	MaxOps int
@@ -325,6 +349,18 @@ type Stats struct {
 	// reused from a byte-identical earlier crash point instead of being
 	// re-simulated (DedupMode).
 	DedupedScenarios int64 `json:"deduped_scenarios"`
+	// ClockInterned counts clock snapshots appended to detector clock
+	// arenas: distinct deduplicated snapshots with interning on, one per
+	// materialized clock copy with it off (ClockInternMode). A cost
+	// counter, like SnapshotBytes.
+	ClockInterned int64 `json:"clock_interned"`
+	// EpochHits counts clock joins answered entirely by the packed-epoch
+	// containment compare — the joins the interned representation skips.
+	// Zero with interning off (the fast path is disabled there).
+	EpochHits int64 `json:"epoch_hits"`
+	// EpochMisses counts clock joins that fell through the epoch compare
+	// to a component-wise merge and re-intern.
+	EpochMisses int64 `json:"epoch_misses"`
 }
 
 func (s *Stats) add(o Stats) {
@@ -339,6 +375,9 @@ func (s *Stats) add(o Stats) {
 	s.SnapshotBytes += o.SnapshotBytes
 	s.JournalOps += o.JournalOps
 	s.DedupedScenarios += o.DedupedScenarios
+	s.ClockInterned += o.ClockInterned
+	s.EpochHits += o.EpochHits
+	s.EpochMisses += o.EpochMisses
 }
 
 // PointStat records how many distinct races the scenarios crashing before
@@ -434,5 +473,14 @@ func (res *Result) absorb(sc *scenario) {
 		res.Passes[i].Report.Merge(r)
 	}
 	res.ExecutionsRun++
+	// Same harvest as specResult.absorb: fold the scenario's clock-arena
+	// counters into its stats before aggregating (TakeCounters resets, so
+	// the work is never double-counted).
+	ci, eh, em := sc.det.ClockArena().TakeCounters()
+	sc.stats.ClockInterned += ci
+	sc.stats.EpochHits += eh
+	sc.stats.EpochMisses += em
 	res.Stats.add(sc.stats)
+	tso.Retire(sc.machine)
+	sc.machine = nil
 }

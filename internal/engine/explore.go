@@ -26,6 +26,7 @@ import (
 
 	"yashme/internal/pmm"
 	"yashme/internal/report"
+	"yashme/internal/tso"
 	"yashme/internal/vclock"
 )
 
@@ -115,6 +116,12 @@ type planSummary struct {
 	// the same way.
 	snapshotBytes int64
 	journalOps    int64
+	// clockInterned/epochHits/epochMisses carry the probes' clock-arena
+	// activity (the probe simulates the full pre-crash prefix); folded into
+	// Result.Stats the same way.
+	clockInterned int64
+	epochHits     int64
+	epochMisses   int64
 	// panicked carries a probe-run panic.
 	panicked any
 }
@@ -158,6 +165,9 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 		res.Stats.DirectOps += sum.directOps
 		res.Stats.SnapshotBytes += sum.snapshotBytes
 		res.Stats.JournalOps += sum.journalOps
+		res.Stats.ClockInterned += sum.clockInterned
+		res.Stats.EpochHits += sum.epochHits
+		res.Stats.EpochMisses += sum.epochMisses
 		return
 	}
 	specCh := make(chan scenarioSpec, workers)
@@ -263,6 +273,9 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 	res.Stats.DirectOps += sum.directOps
 	res.Stats.SnapshotBytes += sum.snapshotBytes
 	res.Stats.JournalOps += sum.journalOps
+	res.Stats.ClockInterned += sum.clockInterned
+	res.Stats.EpochHits += sum.epochHits
+	res.Stats.EpochMisses += sum.epochMisses
 }
 
 // synthesizeDedup builds the result a duplicate spec would have produced,
@@ -298,6 +311,9 @@ func synthesizeDedup(rep *specResult, spec scenarioSpec) *specResult {
 	out.stats.DirectOps = 0
 	out.stats.SnapshotBytes = 0
 	out.stats.JournalOps = 0
+	out.stats.ClockInterned = 0
+	out.stats.EpochHits = 0
+	out.stats.EpochMisses = 0
 	out.stats.DedupedScenarios = 1
 	return out
 }
@@ -363,6 +379,12 @@ func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenari
 		sum.directOps += probe.stats.DirectOps
 		sum.snapshotBytes += probe.stats.SnapshotBytes
 		sum.journalOps += probe.stats.JournalOps
+		ci, eh, em := probe.det.ClockArena().TakeCounters()
+		sum.clockInterned += ci
+		sum.epochHits += eh
+		sum.epochMisses += em
+		tso.Retire(probe.machine)
+		probe.machine = nil
 		n := probe.crashPoints[0]
 		if sched == 0 {
 			sum.crashPoints = n
@@ -446,6 +468,12 @@ func planRandom(makeProg func() pmm.Program, opts Options, emit func(scenarioSpe
 		sum.simulatedOps += probe.stats.SimulatedOps
 		sum.handoffs += probe.stats.Handoffs
 		sum.directOps += probe.stats.DirectOps
+		ci, eh, em := probe.det.ClockArena().TakeCounters()
+		sum.clockInterned += ci
+		sum.epochHits += eh
+		sum.epochMisses += em
+		tso.Retire(probe.machine)
+		probe.machine = nil
 		n := probe.crashPoints[0]
 		sum.crashPoints += n
 		c := 0
@@ -558,5 +586,18 @@ func (r *specResult) absorb(sc *scenario) {
 		r.reports[i].Merge(rep)
 	}
 	r.executions++
+	// Harvest the scenario's clock-arena activity. TakeCounters resets on
+	// read, and a resumed scenario's cloned arena starts its counters at
+	// zero, so each scenario contributes exactly its own interns and epoch
+	// compares (the machine shares the detector's arena — one harvest point
+	// covers both).
+	ci, eh, em := sc.det.ClockArena().TakeCounters()
+	sc.stats.ClockInterned += ci
+	sc.stats.EpochHits += eh
+	sc.stats.EpochMisses += em
 	r.stats.add(sc.stats)
+	// The scenario's last machine is dead with the scenario; retire its
+	// backings for the next scenario on any worker.
+	tso.Retire(sc.machine)
+	sc.machine = nil
 }

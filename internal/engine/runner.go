@@ -218,6 +218,11 @@ type scenario struct {
 	// stored-address walk and the per-line persist-point choices.
 	addrScratch   []pmm.Addr
 	choiceScratch []vclock.Seq
+	// candSlab is the backing store image-entry candidate lists are carved
+	// from: one growing array per scenario instead of a fresh slice per
+	// address per crash image. Carved ranges are never appended to again
+	// (full-slice caps), so entries stay valid as the slab grows.
+	candSlab []provCand
 
 	// capture, when set, receives a snapshot at every flush/fence point of
 	// the execution it watches (checkpoint.go). The planner sets it on probe
@@ -250,11 +255,12 @@ func newScenario(makeProg func() pmm.Program, opts Options, p plan, persist Pers
 		persist = PersistLatest
 	}
 	stack, err := analysis.NewStack(opts.Analyses, analysis.Config{
-		Prefix:    opts.Prefix,
-		EADR:      opts.EADR,
-		Benchmark: benchmark,
-		Labeler:   func(a pmm.Addr) string { return heap.LabelFor(a) },
-		Suppress:  opts.Suppress,
+		Prefix:      opts.Prefix,
+		EADR:        opts.EADR,
+		Benchmark:   benchmark,
+		Labeler:     func(a pmm.Addr) string { return heap.LabelFor(a) },
+		Suppress:    opts.Suppress,
+		OwnedClocks: opts.ClockIntern == ClockInternOff,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("engine: %v", err))
@@ -362,7 +368,15 @@ func (sc *scenario) startMachine() {
 		sc.recorder.SetExec(sc.execIdx)
 		listener = sc.recorder
 	}
+	// The previous execution's machine is dead (snapshots capture only its
+	// CurSeq); retiring it lets NewMachine — this one or a later scenario's
+	// on any worker — reuse its dense memory table and spare record slots.
+	tso.Retire(sc.machine)
 	sc.machine = tso.NewMachine(listener)
+	// The machine's record stamps must resolve in the detector's clock
+	// arena — the stamps cross the listener boundary by value and end up in
+	// StoreRecords, lastflush refs and cvpre.
+	sc.machine.UseArena(sc.det.ClockArena())
 	// The seed loop ascends; pre-sizing to the image's address bound makes
 	// it one allocation (later stores to fresh allocations grow as usual).
 	sc.machine.ReserveMemory(sc.image.idx.Len())
@@ -648,22 +662,26 @@ func (sc *scenario) buildLineImage(e *core.Execution, line pmm.Line, lineAddrs [
 		entry := imageEntry{prevVal: prev.val, size: prev.size}
 		// Older candidates stay checkable: a load in a later execution
 		// could still observe a torn value from two crashes ago.
-		entry.candidates = append(entry.candidates, prev.candidates...)
+		base := len(sc.candSlab)
+		sc.candSlab = append(sc.candSlab, prev.candidates...)
 		var chosen *core.StoreRecord
 		// Walk the per-address chain newest-first (allocation-free), then
 		// reverse the freshly appended candidates back to commit order —
 		// CandidateLimit trims from the front, so order is observable.
-		start := len(entry.candidates)
+		start := len(sc.candSlab)
 		for s := e.Latest(a); s != nil; s = e.ByRef(s.Prev()) {
 			if s.Seq > floor || s == e.PersistLB(a) {
-				entry.candidates = append(entry.candidates, provCand{exec: int32(e.ID), ref: s.Ref()})
+				sc.candSlab = append(sc.candSlab, provCand{exec: int32(e.ID), ref: s.Ref()})
 			}
 			if s.Seq <= point && chosen == nil {
 				chosen = s
 			}
 		}
-		for i, j := start, len(entry.candidates)-1; i < j; i, j = i+1, j-1 {
-			entry.candidates[i], entry.candidates[j] = entry.candidates[j], entry.candidates[i]
+		for i, j := start, len(sc.candSlab)-1; i < j; i, j = i+1, j-1 {
+			sc.candSlab[i], sc.candSlab[j] = sc.candSlab[j], sc.candSlab[i]
+		}
+		if n := len(sc.candSlab); n > base {
+			entry.candidates = sc.candSlab[base:n:n]
 		}
 		if chosen != nil {
 			entry.chosen = provCand{exec: int32(e.ID), ref: chosen.Ref()}
@@ -702,8 +720,7 @@ func (sc *scenario) resolvePostCrashLoad(tid vclock.TID, addr pmm.Addr, size int
 			cands = cands[len(cands)-lim:] // newest candidates only
 		}
 		for _, cand := range cands {
-			race := sc.det.CheckCandidate(sc.execOf(cand), sc.storeOf(cand), guarded)
-			if race != nil && cand == entry.chosen {
+			if sc.det.CandidateRaced(sc.execOf(cand), sc.storeOf(cand), guarded) && cand == entry.chosen {
 				chosenRaced = true
 			}
 		}

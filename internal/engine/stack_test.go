@@ -46,6 +46,9 @@ func zeroCostCounters(s *engine.Stats) {
 	s.DirectOps = 0
 	s.SnapshotBytes = 0
 	s.JournalOps = 0
+	s.ClockInterned = 0
+	s.EpochHits = 0
+	s.EpochMisses = 0
 	s.DedupedScenarios = 0
 }
 

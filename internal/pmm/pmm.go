@@ -13,6 +13,9 @@ package pmm
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 )
 
 // Addr is a byte address in the simulated persistent memory.
@@ -53,7 +56,31 @@ type layoutInfo struct {
 	size   int // struct size, rounded up to max alignment
 }
 
+// layoutCache memoizes buildLayout by layout contents: a checkpoint resume
+// re-runs the program's Setup against a fresh heap, so the same handful of
+// struct layouts would otherwise be rebuilt (fields, name index, size
+// computation) for every resumed scenario, concurrently across workers.
+// layoutInfo is immutable once built, so sharing one instance is safe.
+var layoutCache sync.Map // string → *layoutInfo
+
 func buildLayout(l Layout) *layoutInfo {
+	var kb strings.Builder
+	for _, f := range l {
+		kb.WriteString(f.Name)
+		kb.WriteByte(0)
+		kb.WriteString(strconv.Itoa(f.Size))
+		kb.WriteByte(1)
+	}
+	key := kb.String()
+	if v, ok := layoutCache.Load(key); ok {
+		return v.(*layoutInfo)
+	}
+	info := buildLayoutUncached(l)
+	layoutCache.Store(key, info)
+	return info
+}
+
+func buildLayoutUncached(l Layout) *layoutInfo {
 	info := &layoutInfo{byName: make(map[string]int, len(l))}
 	off, maxAlign := 0, 1
 	for _, f := range l {
@@ -103,6 +130,11 @@ type Heap struct {
 	next   Addr
 	allocs []allocation // sorted by base
 	inits  []InitWrite
+	// labels memoizes LabelFor: the detector labels the same few racing
+	// addresses on every candidate check of every crash scenario, and the
+	// rendered name is a pure function of the allocation table. Any change
+	// to that table (place, Restore) drops the whole cache.
+	labels map[Addr]string
 }
 
 // InitWrite is a pre-execution write applied directly to the persistent
@@ -172,6 +204,7 @@ func (h *Heap) AllocRaw(label string, size int) Addr {
 func (h *Heap) place(size int) Addr {
 	base := Addr(align(int(h.next), CacheLineSize))
 	h.next = base + Addr(size)
+	h.labels = nil
 	return base
 }
 
@@ -212,6 +245,7 @@ func (h *Heap) Restore(src *Heap) {
 	h.next = src.next
 	h.allocs = append(h.allocs[:0:0], src.allocs...)
 	h.inits = append(h.inits[:0:0], src.inits...)
+	h.labels = nil
 }
 
 // AllocCount returns the number of allocations made so far. Together with
@@ -348,6 +382,18 @@ func (h *Heap) NextAllocBase(a Addr) (Addr, bool) {
 // reports use these names as the bug's root cause, mirroring the paper's
 // Tables 3 and 4 which identify bugs by field.
 func (h *Heap) LabelFor(addr Addr) string {
+	if s, ok := h.labels[addr]; ok {
+		return s
+	}
+	s := h.labelFor(addr)
+	if h.labels == nil {
+		h.labels = make(map[Addr]string)
+	}
+	h.labels[addr] = s
+	return s
+}
+
+func (h *Heap) labelFor(addr Addr) string {
 	a := h.findAlloc(addr)
 	if a == nil {
 		return fmt.Sprintf("0x%x", uint64(addr))

@@ -77,22 +77,22 @@ func (c *Checker) StoreCommitted(rec *tso.CommittedStore) {
 }
 
 // CLFlushCommitted implements tso.Listener.
-func (c *Checker) CLFlushCommitted(_ vclock.TID, addr pmm.Addr, seq vclock.Seq, _ vclock.VC) {
+func (c *Checker) CLFlushCommitted(_ vclock.TID, addr pmm.Addr, seq vclock.Seq, _ vclock.Stamp) {
 	c.persistLine(addr, seq)
 }
 
 // CLWBBuffered implements tso.Listener.
-func (c *Checker) CLWBBuffered(tid vclock.TID, addr pmm.Addr, _ vclock.VC) {
+func (c *Checker) CLWBBuffered(tid vclock.TID, addr pmm.Addr, _ vclock.Stamp) {
 	c.pendingWB[tid] = append(c.pendingWB[tid], addr)
 }
 
 // CLWBPersisted implements tso.Listener.
-func (c *Checker) CLWBPersisted(flush tso.FBEntry, _ vclock.TID, fenceSeq vclock.Seq, _ vclock.VC) {
+func (c *Checker) CLWBPersisted(flush tso.FBEntry, _ vclock.TID, fenceSeq vclock.Seq, _ vclock.Stamp) {
 	c.persistLine(flush.Addr, fenceSeq)
 }
 
 // FenceCommitted implements tso.Listener.
-func (c *Checker) FenceCommitted(tid vclock.TID, seq vclock.Seq, _ vclock.VC) {
+func (c *Checker) FenceCommitted(tid vclock.TID, seq vclock.Seq, _ vclock.Stamp) {
 	for _, a := range c.pendingWB[tid] {
 		c.persistLine(a, seq)
 	}

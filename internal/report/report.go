@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Race is one persistency-race report: a post-crash load observed a
@@ -50,7 +51,9 @@ func (r Race) String() string {
 		kind, r.Benchmark, r.Field, r.StoreSeq, r.StoreTID, r.ExecID, r.Flushed)
 }
 
-// Key is the dedup identity of a race.
+// Key renders the dedup identity of a race. Deduplication itself keys on
+// the (benchmark, field, benignness) triple directly — see raceKey — so the
+// hot path never materializes this string.
 func (r Race) Key() string { return r.Benchmark + "\x00" + r.Field + "\x00" + benignTag(r.Benign) }
 
 func benignTag(b bool) string {
@@ -60,12 +63,34 @@ func benignTag(b bool) string {
 	return "harmful"
 }
 
+// raceKey is the dedup identity of a race as a comparable value: map
+// lookups with it allocate nothing, which matters because every racy
+// candidate of every crash scenario passes through Add on its way to the
+// handful of deduplicated reports.
+type raceKey struct {
+	benchmark, field string
+	benign           bool
+}
+
+func keyOf(r Race) raceKey {
+	return raceKey{benchmark: r.Benchmark, field: r.Field, benign: r.Benign}
+}
+
+// normCache memoizes NormalizeField for labels that actually carry array
+// indices: the same few field labels arrive with every racy candidate of
+// every crash scenario, concurrently across worker goroutines. The label
+// space is bounded by the workloads' heaps, so the cache is too.
+var normCache sync.Map // string → string
+
 // NormalizeField strips array indices from a field label ("seg[3].key" →
 // "seg.key"): the paper's tables identify bugs by struct field, not by
 // element instance.
 func NormalizeField(field string) string {
 	if !strings.ContainsRune(field, '[') {
 		return field
+	}
+	if v, ok := normCache.Load(field); ok {
+		return v.(string)
 	}
 	var b strings.Builder
 	depth := 0
@@ -79,7 +104,9 @@ func NormalizeField(field string) string {
 			b.WriteRune(r)
 		}
 	}
-	return b.String()
+	n := b.String()
+	normCache.Store(field, n)
+	return n
 }
 
 // Set accumulates deduplicated race reports.
@@ -93,16 +120,49 @@ func NormalizeField(field string) string {
 // output is independent of the order in which sets were merged:
 // Merge(a, b) and Merge(b, a) render identically.
 type Set struct {
-	byKey map[string]Race
-	// order is the first-seen insertion order, kept so Merge can iterate
-	// deterministically; reads use the stable-key order instead.
-	order []string
+	// keys and races hold the deduplicated races in first-seen insertion
+	// order, as parallel slices. Deduplicated sets are tiny (a handful of
+	// (benchmark, field) pairs), so a linear scan beats a map — and, more
+	// to the point, an empty Set costs nothing: the engine builds one per
+	// crash scenario, and a per-scenario map bucket (a Race is >100 bytes)
+	// was a measurable share of the exploration's allocations.
+	keys  []raceKey
+	races []Race
+	// idx accelerates lookup if a set ever outgrows the linear scan; built
+	// lazily by find, dropped by Clone.
+	idx map[raceKey]int
 	// RawCount counts every reported race before deduplication.
 	RawCount int
 }
 
+// smallSetScan is the set size up to which dedup lookups linear-scan
+// instead of building idx.
+const smallSetScan = 16
+
 // NewSet returns an empty report set.
-func NewSet() *Set { return &Set{byKey: make(map[string]Race)} }
+func NewSet() *Set { return &Set{} }
+
+// find returns the slot of k, or -1 if the set does not contain it.
+func (s *Set) find(k raceKey) int {
+	if s.idx == nil && len(s.keys) > smallSetScan {
+		s.idx = make(map[raceKey]int, len(s.keys))
+		for i, kk := range s.keys {
+			s.idx[kk] = i
+		}
+	}
+	if s.idx != nil {
+		if i, ok := s.idx[k]; ok {
+			return i
+		}
+		return -1
+	}
+	for i, kk := range s.keys {
+		if kk == k {
+			return i
+		}
+	}
+	return -1
+}
 
 // canonicalBefore reports whether a is the preferred representative over b
 // for the same dedup key, making deduplication commutative across merge
@@ -132,18 +192,21 @@ func canonicalBefore(a, b Race) bool {
 func (s *Set) Add(r Race) bool {
 	s.RawCount++
 	r.Field = NormalizeField(r.Field)
-	k := r.Key()
-	if prev, seen := s.byKey[k]; seen {
-		if canonicalBefore(r, prev) {
+	k := keyOf(r)
+	if i := s.find(k); i >= 0 {
+		if canonicalBefore(r, s.races[i]) {
 			if r.Witness == "" {
-				r.Witness = prev.Witness
+				r.Witness = s.races[i].Witness
 			}
-			s.byKey[k] = r
+			s.races[i] = r
 		}
 		return false
 	}
-	s.byKey[k] = r
-	s.order = append(s.order, k)
+	s.keys = append(s.keys, k)
+	s.races = append(s.races, r)
+	if s.idx != nil {
+		s.idx[k] = len(s.keys) - 1
+	}
 	return true
 }
 
@@ -156,9 +219,9 @@ func (s *Set) Benign() []Race { return s.filter(true) }
 
 func (s *Set) filter(benign bool) []Race {
 	var out []Race
-	for _, k := range s.order {
-		if r := s.byKey[k]; r.Benign == benign {
-			out = append(out, r)
+	for i := range s.races {
+		if s.races[i].Benign == benign {
+			out = append(out, s.races[i])
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -170,11 +233,22 @@ func (s *Set) filter(benign bool) []Race {
 	return out
 }
 
-// Count returns the number of deduplicated non-benign races.
-func (s *Set) Count() int { return len(s.Races()) }
+// Count returns the number of deduplicated non-benign races. It allocates
+// nothing: the engine polls it after every crash scenario.
+func (s *Set) Count() int { return s.count(false) }
 
 // BenignCount returns the number of deduplicated benign races.
-func (s *Set) BenignCount() int { return len(s.Benign()) }
+func (s *Set) BenignCount() int { return s.count(true) }
+
+func (s *Set) count(benign bool) int {
+	n := 0
+	for i := range s.races {
+		if s.races[i].Benign == benign {
+			n++
+		}
+	}
+	return n
+}
 
 // Fields returns the sorted set of non-benign racing field names.
 func (s *Set) Fields() []string {
@@ -189,10 +263,9 @@ func (s *Set) Fields() []string {
 // AttachWitnesses fills the Witness of every race that lacks one, using the
 // supplied builder (typically trace.Recorder.Witness).
 func (s *Set) AttachWitnesses(build func(Race) string) {
-	for k, r := range s.byKey {
-		if r.Witness == "" {
-			r.Witness = build(r)
-			s.byKey[k] = r
+	for i := range s.races {
+		if s.races[i].Witness == "" {
+			s.races[i].Witness = build(s.races[i])
 		}
 	}
 }
@@ -202,13 +275,10 @@ func (s *Set) AttachWitnesses(build func(Race) string) {
 // engine's checkpoint layer clones the set captured at a snapshot point so
 // every resumed scenario starts from the same accumulated reports.
 func (s *Set) Clone() *Set {
-	c := &Set{
-		byKey:    make(map[string]Race, len(s.byKey)),
-		order:    append([]string(nil), s.order...),
-		RawCount: s.RawCount,
-	}
-	for k, r := range s.byKey {
-		c.byKey[k] = r
+	c := &Set{RawCount: s.RawCount}
+	if len(s.keys) > 0 {
+		c.keys = append([]raceKey(nil), s.keys...)
+		c.races = append([]Race(nil), s.races...)
 	}
 	return c
 }
@@ -219,10 +289,10 @@ func (s *Set) Clone() *Set {
 // canonical representatives (see Add). s and other must not be mutated
 // concurrently; the engine merges on a single goroutine.
 func (s *Set) Merge(other *Set) {
-	for _, k := range other.order {
-		s.Add(other.byKey[k])
+	for i := range other.races {
+		s.Add(other.races[i])
 	}
-	s.RawCount += other.RawCount - len(other.order)
+	s.RawCount += other.RawCount - len(other.races)
 }
 
 // String renders the set, one race per line, non-benign first.

@@ -1,0 +1,66 @@
+package suite
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"yashme/internal/engine"
+)
+
+// TestClockInternMatchesOwned: the interned clock arena with the epoch fast
+// path and the owned one-clock-per-record escape hatch produce identical
+// canonical JSON — races, windows, workload stats — across every fast-path
+// combination the engine offers. Only the clock-arena cost counters may
+// differ: the owned mode interns one snapshot per commit and never takes
+// the epoch path, which is exactly what the counters exist to show.
+func TestClockInternMatchesOwned(t *testing.T) {
+	clocks := func(s *engine.Stats) {
+		s.ClockInterned, s.EpochHits, s.EpochMisses = 0, 0, 0
+	}
+	canon := func(r *Result) []byte {
+		c := r.Canonical()
+		for i := range c.Benchmarks {
+			for j := range c.Benchmarks[i].Runs {
+				clocks(&c.Benchmarks[i].Runs[j].Stats)
+			}
+		}
+		data, err := c.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	for _, ck := range []engine.CheckpointMode{engine.CheckpointOn, engine.CheckpointOff} {
+		for _, dr := range []engine.DirectRunMode{engine.DirectRunOn, engine.DirectRunOff} {
+			for _, dd := range []engine.DedupMode{engine.DedupOn, engine.DedupOff} {
+				for _, workers := range []int{1, 4} {
+					name := fmt.Sprintf("ck=%d/dr=%d/dd=%d/w=%d", ck, dr, dd, workers)
+					cfg := Config{
+						Names:      []string{"CCEH", "P-ART"},
+						Variants:   []string{VariantRaces},
+						Checkpoint: ck,
+						DirectRun:  dr,
+						Dedup:      dd,
+						Workers:    workers,
+					}
+					interned := Run(cfg)
+
+					owned := cfg
+					owned.ClockIntern = engine.ClockInternOff
+					ownedRes := Run(owned)
+
+					if ij, oj := canon(interned), canon(ownedRes); !bytes.Equal(ij, oj) {
+						t.Fatalf("%s: interned != owned canonical JSON:\n%s\nvs\n%s", name, ij, oj)
+					}
+					if h := interned.TotalStats().EpochHits; h == 0 {
+						t.Errorf("%s: interned run took the epoch fast path 0 times", name)
+					}
+					if st := ownedRes.TotalStats(); st.EpochHits != 0 || st.EpochMisses != 0 {
+						t.Errorf("%s: owned run used the epoch fast path: %+v", name, st)
+					}
+				}
+			}
+		}
+	}
+}

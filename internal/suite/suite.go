@@ -103,6 +103,10 @@ type Config struct {
 	// (results identical at any setting).
 	Keyframe int
 	Dedup    engine.DedupMode
+	// ClockIntern toggles the interned clock arena + epoch fast path —
+	// forwarded to every engine run (results identical at either setting,
+	// the owned representation is the debugging escape hatch).
+	ClockIntern engine.ClockInternMode
 	// Analyses selects the analysis passes every engine run executes (nil =
 	// the engine default, yashme alone). The first selected pass is primary:
 	// each RunResult's top-level Races/RaceCount are its report, and when
@@ -250,6 +254,9 @@ func (r *Result) TotalStats() engine.Stats {
 			s.DirectOps += run.Stats.DirectOps
 			s.SnapshotBytes += run.Stats.SnapshotBytes
 			s.JournalOps += run.Stats.JournalOps
+			s.ClockInterned += run.Stats.ClockInterned
+			s.EpochHits += run.Stats.EpochHits
+			s.EpochMisses += run.Stats.EpochMisses
 			s.DedupedScenarios += run.Stats.DedupedScenarios
 		}
 	}
@@ -464,6 +471,7 @@ func Run(cfg Config) *Result {
 			opts.DirectRun = cfg.DirectRun
 			opts.Keyframe = cfg.Keyframe
 			opts.Dedup = cfg.Dedup
+			opts.ClockIntern = cfg.ClockIntern
 			opts.Analyses = cfg.Analyses
 			opts.Budget = budget
 			start := time.Now()

@@ -175,6 +175,9 @@ func TestDeltaMatchesFullClone(t *testing.T) {
 	// what was explored; work counters measure how much simulation ran.
 	capture := func(s *engine.Stats) {
 		s.SnapshotBytes, s.JournalOps, s.DedupedScenarios = 0, 0, 0
+		// Clock-arena counters follow the capture mechanics too: a journal
+		// replay re-runs its segment's joins, a keyframe resume does not.
+		s.ClockInterned, s.EpochHits, s.EpochMisses = 0, 0, 0
 	}
 	work := func(s *engine.Stats) {
 		s.SimulatedOps, s.Handoffs, s.DirectOps = 0, 0, 0

@@ -151,25 +151,25 @@ func (r *Recorder) StoreCommitted(rec *tso.CommittedStore) {
 }
 
 // CLFlushCommitted implements tso.Listener.
-func (r *Recorder) CLFlushCommitted(tid vclock.TID, addr pmm.Addr, seq vclock.Seq, cv vclock.VC) {
+func (r *Recorder) CLFlushCommitted(tid vclock.TID, addr pmm.Addr, seq vclock.Seq, cv vclock.Stamp) {
 	r.events = append(r.events, Event{Exec: r.exec, Seq: seq, TID: tid, Kind: KCLFlush, Addr: addr})
 	r.Inner.CLFlushCommitted(tid, addr, seq, cv)
 }
 
 // CLWBBuffered implements tso.Listener.
-func (r *Recorder) CLWBBuffered(tid vclock.TID, addr pmm.Addr, cv vclock.VC) {
+func (r *Recorder) CLWBBuffered(tid vclock.TID, addr pmm.Addr, cv vclock.Stamp) {
 	r.events = append(r.events, Event{Exec: r.exec, TID: tid, Kind: KCLWBBuffered, Addr: addr})
 	r.Inner.CLWBBuffered(tid, addr, cv)
 }
 
 // CLWBPersisted implements tso.Listener.
-func (r *Recorder) CLWBPersisted(flush tso.FBEntry, fenceTID vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.VC) {
+func (r *Recorder) CLWBPersisted(flush tso.FBEntry, fenceTID vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.Stamp) {
 	r.events = append(r.events, Event{Exec: r.exec, Seq: fenceSeq, TID: flush.TID, Kind: KCLWBPersisted, Addr: flush.Addr})
 	r.Inner.CLWBPersisted(flush, fenceTID, fenceSeq, fenceCV)
 }
 
 // FenceCommitted implements tso.Listener.
-func (r *Recorder) FenceCommitted(tid vclock.TID, seq vclock.Seq, cv vclock.VC) {
+func (r *Recorder) FenceCommitted(tid vclock.TID, seq vclock.Seq, cv vclock.Stamp) {
 	r.events = append(r.events, Event{Exec: r.exec, Seq: seq, TID: tid, Kind: KFence})
 	r.Inner.FenceCommitted(tid, seq, cv)
 }

@@ -36,16 +36,16 @@ type flushRecorder struct {
 func (f *flushRecorder) StoreCommitted(rec *CommittedStore) {
 	f.order = append(f.order, fmt.Sprintf("W%x=%d", uint64(rec.Addr), rec.Val))
 }
-func (f *flushRecorder) CLFlushCommitted(_ vclock.TID, addr pmm.Addr, _ vclock.Seq, _ vclock.VC) {
+func (f *flushRecorder) CLFlushCommitted(_ vclock.TID, addr pmm.Addr, _ vclock.Seq, _ vclock.Stamp) {
 	f.order = append(f.order, fmt.Sprintf("F%x", uint64(addr)))
 }
-func (f *flushRecorder) CLWBBuffered(_ vclock.TID, addr pmm.Addr, _ vclock.VC) {
+func (f *flushRecorder) CLWBBuffered(_ vclock.TID, addr pmm.Addr, _ vclock.Stamp) {
 	f.order = append(f.order, fmt.Sprintf("wb%x", uint64(addr)))
 }
-func (f *flushRecorder) CLWBPersisted(flush FBEntry, _ vclock.TID, _ vclock.Seq, _ vclock.VC) {
+func (f *flushRecorder) CLWBPersisted(flush FBEntry, _ vclock.TID, _ vclock.Seq, _ vclock.Stamp) {
 	f.order = append(f.order, fmt.Sprintf("WB%x", uint64(flush.Addr)))
 }
-func (f *flushRecorder) FenceCommitted(vclock.TID, vclock.Seq, vclock.VC) {
+func (f *flushRecorder) FenceCommitted(vclock.TID, vclock.Seq, vclock.Stamp) {
 	f.order = append(f.order, "SF")
 }
 

@@ -24,6 +24,7 @@ package tso
 
 import (
 	"fmt"
+	"sync"
 
 	"yashme/internal/addridx"
 	"yashme/internal/pmm"
@@ -68,7 +69,7 @@ type SBEntry struct {
 // FBEntry is a clwb waiting in a thread's flush buffer for a fence.
 type FBEntry struct {
 	Addr pmm.Addr
-	CV   vclock.VC // clock snapshot when the clwb left the store buffer
+	CV   vclock.Stamp // clock snapshot when the clwb left the store buffer
 	TID  vclock.TID
 }
 
@@ -80,7 +81,7 @@ type CommittedStore struct {
 	Val     uint64
 	TID     vclock.TID
 	Seq     vclock.Seq
-	CV      vclock.VC // happens-before clock at commit (includes this store)
+	CV      vclock.Stamp // happens-before clock at commit (includes this store)
 	Atomic  bool
 	Release bool
 }
@@ -93,27 +94,27 @@ type Listener interface {
 	StoreCommitted(rec *CommittedStore)
 	// CLFlushCommitted fires when a clflush takes effect: the cache line of
 	// addr is flushed to persistent storage at sequence number seq.
-	CLFlushCommitted(tid vclock.TID, addr pmm.Addr, seq vclock.Seq, cv vclock.VC)
+	CLFlushCommitted(tid vclock.TID, addr pmm.Addr, seq vclock.Seq, cv vclock.Stamp)
 	// CLWBBuffered fires when a clwb leaves the store buffer and enters the
 	// thread's flush buffer (not yet persistent).
-	CLWBBuffered(tid vclock.TID, addr pmm.Addr, cv vclock.VC)
+	CLWBBuffered(tid vclock.TID, addr pmm.Addr, cv vclock.Stamp)
 	// CLWBPersisted fires when a fence evicts a clwb from the flush buffer:
 	// the write-back is now guaranteed persistent.
-	CLWBPersisted(flush FBEntry, fenceTID vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.VC)
+	CLWBPersisted(flush FBEntry, fenceTID vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.Stamp)
 	// FenceCommitted fires for sfence commits and mfence/RMW drains, after
 	// the flush buffer has been processed.
-	FenceCommitted(tid vclock.TID, seq vclock.Seq, cv vclock.VC)
+	FenceCommitted(tid vclock.TID, seq vclock.Seq, cv vclock.Stamp)
 }
 
 // NopListener is a Listener that ignores every event; it is the "Jaaru only"
 // configuration used to measure detector overhead (paper Table 5).
 type NopListener struct{}
 
-func (NopListener) StoreCommitted(*CommittedStore)                               {}
-func (NopListener) CLFlushCommitted(vclock.TID, pmm.Addr, vclock.Seq, vclock.VC) {}
-func (NopListener) CLWBBuffered(vclock.TID, pmm.Addr, vclock.VC)                 {}
-func (NopListener) CLWBPersisted(FBEntry, vclock.TID, vclock.Seq, vclock.VC)     {}
-func (NopListener) FenceCommitted(vclock.TID, vclock.Seq, vclock.VC)             {}
+func (NopListener) StoreCommitted(*CommittedStore)                                  {}
+func (NopListener) CLFlushCommitted(vclock.TID, pmm.Addr, vclock.Seq, vclock.Stamp) {}
+func (NopListener) CLWBBuffered(vclock.TID, pmm.Addr, vclock.Stamp)                 {}
+func (NopListener) CLWBPersisted(FBEntry, vclock.TID, vclock.Seq, vclock.Stamp)     {}
+func (NopListener) FenceCommitted(vclock.TID, vclock.Seq, vclock.Stamp)             {}
 
 var _ Listener = NopListener{}
 
@@ -143,22 +144,106 @@ type Machine struct {
 
 	sb [][]SBEntry // indexed by TID
 	fb [][]FBEntry // indexed by TID
-	cv []vclock.VC // indexed by TID
+
+	// Per-thread clocks in interned form: the thread's logical clock is
+	// clocks.At(base[τ]) joined with {τ: self[τ]}. base[τ] only changes at
+	// synchronizing events (acquire loads, RMWs), so committing a store is
+	// allocation-free — the record's Stamp reuses the shared snapshot.
+	base []vclock.Ref // indexed by TID
+	self []vclock.Seq // indexed by TID
+
+	// clocks holds the interned snapshots. The engine shares the
+	// detector's arena via UseArena so record stamps resolve on both
+	// sides; a stand-alone machine gets a private arena.
+	clocks *vclock.Arena
 
 	// mem is the volatile cache/memory view: latest committed store per
 	// address, interned by addridx (the heap's Addr space is dense).
 	// Initial contents come from the persisted image. Records are immutable
 	// once committed, so clones share them.
 	mem addridx.Table[*CommittedStore]
+
+	// recSlab is the spare tail of a chunk-allocated CommittedStore block:
+	// seeding a persisted image and committing stores both mint one record
+	// per event, so handing out slab slots turns those per-record
+	// allocations into one per chunk. Handed-out records are immutable and
+	// freely shared; the unused tail is private (Clone drops it).
+	recSlab []CommittedStore
 }
 
-// NewMachine returns an empty machine reporting to listener.
+// recycled carries the reusable backings of a retired machine between
+// Retire and NewMachine.
+type recycled struct {
+	mem  addridx.Table[*CommittedStore]
+	slab []CommittedStore
+}
+
+// retiredPool holds backings of retired machines. The engine runs one
+// short-lived machine per crash scenario across a pool of workers; routing
+// the dense memory table and the spare record slots through a sync.Pool
+// means steady-state scenarios reuse an existing zeroed table instead of
+// reallocating one each.
+var retiredPool sync.Pool
+
+// Retire hands m's memory-table backing and spare record slots to the pool
+// NewMachine draws from. The machine must never be used again. Records it
+// already handed out stay valid: they are immutable, referenced
+// individually rather than through the table, and only the never-handed-out
+// slab tail is reused.
+func Retire(m *Machine) {
+	if m == nil {
+		return
+	}
+	m.mem.Reset()
+	retiredPool.Put(&recycled{mem: m.mem, slab: m.recSlab})
+	m.mem = addridx.Table[*CommittedStore]{}
+	m.recSlab = nil
+}
+
+// newRecord hands out one record slot from the slab chunk.
+func (m *Machine) newRecord() *CommittedStore {
+	if len(m.recSlab) == 0 {
+		m.recSlab = make([]CommittedStore, 64)
+	}
+	rec := &m.recSlab[0]
+	m.recSlab = m.recSlab[1:]
+	return rec
+}
+
+// arenaProvider is the optional listener interface a clock-consuming
+// listener (the race detector) implements: its arena is adopted by
+// NewMachine so the stamps the machine mints resolve on the listener's
+// side without an explicit UseArena call.
+type arenaProvider interface{ ClockArena() *vclock.Arena }
+
+// NewMachine returns an empty machine reporting to listener. A listener
+// that owns a clock arena (implements ClockArena) shares it with the
+// machine; otherwise the machine gets a private arena.
 func NewMachine(listener Listener) *Machine {
 	if listener == nil {
 		listener = NopListener{}
 	}
-	return &Machine{listener: listener}
+	m := &Machine{listener: listener}
+	if r, _ := retiredPool.Get().(*recycled); r != nil {
+		m.mem = r.mem
+		m.recSlab = r.slab
+	}
+	if p, ok := listener.(arenaProvider); ok {
+		m.clocks = p.ClockArena()
+	} else {
+		m.clocks = vclock.NewArena(false)
+	}
+	return m
 }
+
+// UseArena points the machine at a shared clock arena (the detector's, in
+// engine runs, so record stamps resolve identically on both sides). Call
+// it before the first operation; stamps minted against a previous arena do
+// not transfer.
+func (m *Machine) UseArena(a *vclock.Arena) { m.clocks = a }
+
+// ClockArena returns the arena the machine's stamps resolve in.
+func (m *Machine) ClockArena() *vclock.Arena { return m.clocks }
 
 // ReserveMemory pre-sizes the memory view for addresses [0, n), so seeding
 // a persisted image (ascending addresses) fills one allocation instead of
@@ -185,7 +270,8 @@ func (m *Machine) growThreads(n int) {
 	for len(m.sb) < n {
 		m.sb = append(m.sb, nil)
 		m.fb = append(m.fb, nil)
-		m.cv = append(m.cv, nil)
+		m.base = append(m.base, 0)
+		m.self = append(m.self, 0)
 	}
 }
 
@@ -226,8 +312,16 @@ func (m *Machine) Clone(listener Listener) *Machine {
 		declared: m.declared,
 		sb:       make([][]SBEntry, len(m.sb)),
 		fb:       make([][]FBEntry, len(m.fb)),
-		cv:       make([]vclock.VC, len(m.cv)),
-		mem:      m.mem.Clone(), // flat: records are immutable once committed
+		base:     append([]vclock.Ref(nil), m.base...),
+		self:     append([]vclock.Seq(nil), m.self...),
+		clocks:   m.clocks.Clone(), // capped view: snapshots are immutable
+		mem:      m.mem.Clone(),    // flat: records are immutable once committed
+	}
+	// A clock-consuming listener (a cloned detector) brings its own arena
+	// clone; adopt it so the pair diverges together, exactly as NewMachine
+	// pairs a fresh machine with its detector.
+	if p, ok := listener.(arenaProvider); ok {
+		c.clocks = p.ClockArena()
 	}
 	for t, buf := range m.sb {
 		if len(buf) > 0 {
@@ -235,18 +329,9 @@ func (m *Machine) Clone(listener Listener) *Machine {
 		}
 	}
 	for t, buf := range m.fb {
-		if len(buf) == 0 {
-			continue
+		if len(buf) > 0 {
+			c.fb[t] = append([]FBEntry(nil), buf...)
 		}
-		nb := make([]FBEntry, len(buf))
-		for i, e := range buf {
-			e.CV = e.CV.Clone()
-			nb[i] = e
-		}
-		c.fb[t] = nb
-	}
-	for t, vc := range m.cv {
-		c.cv[t] = vc.Clone()
 	}
 	return c
 }
@@ -254,20 +339,50 @@ func (m *Machine) Clone(listener Listener) *Machine {
 // SeedMemory installs an initial, already-persisted value. Seeded values
 // have Seq 0 and carry no clock: they predate the execution.
 func (m *Machine) SeedMemory(addr pmm.Addr, size int, val uint64) {
-	m.mem.Set(addr, &CommittedStore{Addr: addr, Size: size, Val: val})
+	rec := m.newRecord()
+	*rec = CommittedStore{Addr: addr, Size: size, Val: val}
+	m.mem.Set(addr, rec)
 }
 
 // CurSeq returns the last assigned global sequence number.
 func (m *Machine) CurSeq() vclock.Seq { return m.seq }
 
-// ThreadCV returns (a copy of) the thread's current happens-before clock.
-func (m *Machine) ThreadCV(tid vclock.TID) vclock.VC { return m.threadCV(tid).Clone() }
-
-// threadCV returns a pointer to the thread's live clock. The pointer is
-// invalidated if the per-thread slices grow; use it immediately.
-func (m *Machine) threadCV(tid vclock.TID) *vclock.VC {
+// ThreadCV returns (a materialized copy of) the thread's current
+// happens-before clock.
+func (m *Machine) ThreadCV(tid vclock.TID) vclock.VC {
 	m.checkTID(tid)
-	return &m.cv[tid]
+	return m.clocks.Materialize(m.snapshot(tid))
+}
+
+// snapshot returns the thread's current clock as a stamp (no allocation).
+func (m *Machine) snapshot(tid vclock.TID) vclock.Stamp {
+	return vclock.Stamp{Base: m.base[tid], Self: vclock.NewEpoch(tid, m.self[tid])}
+}
+
+// commitStamp assigns the next global sequence number to an operation by
+// tid and returns the operation's clock. In interning mode this allocates
+// nothing: the stamp reuses the thread's shared snapshot and carries the
+// new (tid, seq) epoch as its self component. In owned mode it appends a
+// private materialized copy, reproducing the per-record clock
+// representation this layout replaced.
+func (m *Machine) commitStamp(tid vclock.TID) vclock.Stamp {
+	m.seq++
+	m.self[tid] = m.seq
+	st := vclock.Stamp{Base: m.base[tid], Self: vclock.NewEpoch(tid, m.seq)}
+	if m.clocks.Owned() {
+		st = m.clocks.Reintern(st)
+	}
+	return st
+}
+
+// joinThread merges a published stamp into the thread's clock (the acquire
+// side of a release/acquire pair). The arena's epoch fast path makes the
+// common already-covered case a single packed compare.
+func (m *Machine) joinThread(tid vclock.TID, st vclock.Stamp) {
+	if st == (vclock.Stamp{}) {
+		return // seeded record: no clock to merge
+	}
+	m.base[tid] = m.clocks.JoinThread(m.base[tid], tid, m.self[tid], st)
 }
 
 // EnqueueStore appends a store to the thread's store buffer.
@@ -337,36 +452,34 @@ func (m *Machine) DrainSB(tid vclock.TID) {
 func (m *Machine) commit(tid vclock.TID, e SBEntry) {
 	switch e.Kind {
 	case OpStore:
-		m.seq++
-		cv := m.threadCV(tid)
-		cv.Set(tid, m.seq)
-		rec := &CommittedStore{
+		st := m.commitStamp(tid)
+		rec := m.newRecord()
+		*rec = CommittedStore{
 			Addr: e.Addr, Size: e.Size, Val: e.Val,
-			TID: tid, Seq: m.seq, CV: cv.Clone(),
+			TID: tid, Seq: m.seq, CV: st,
 			Atomic: e.Atomic, Release: e.Release,
 		}
 		m.mem.Set(e.Addr, rec)
 		m.listener.StoreCommitted(rec)
 	case OpCLFlush:
-		m.seq++
-		cv := m.threadCV(tid)
-		cv.Set(tid, m.seq)
-		m.listener.CLFlushCommitted(tid, e.Addr, m.seq, cv.Clone())
+		st := m.commitStamp(tid)
+		m.listener.CLFlushCommitted(tid, e.Addr, m.seq, st)
 	case OpCLWB:
-		cv := m.threadCV(tid).Clone()
-		m.fb[tid] = append(m.fb[tid], FBEntry{Addr: e.Addr, CV: cv, TID: tid})
-		m.listener.CLWBBuffered(tid, e.Addr, cv)
+		st := m.snapshot(tid)
+		if m.clocks.Owned() {
+			st = m.clocks.Reintern(st)
+		}
+		m.fb[tid] = append(m.fb[tid], FBEntry{Addr: e.Addr, CV: st, TID: tid})
+		m.listener.CLWBBuffered(tid, e.Addr, st)
 	case OpSFence:
-		m.seq++
-		cv := m.threadCV(tid)
-		cv.Set(tid, m.seq)
-		m.flushFB(tid, m.seq, cv.Clone())
-		m.listener.FenceCommitted(tid, m.seq, cv.Clone())
+		st := m.commitStamp(tid)
+		m.flushFB(tid, m.seq, st)
+		m.listener.FenceCommitted(tid, m.seq, st)
 	}
 }
 
 // flushFB persists every pending clwb of the thread (Evict_FB in the paper).
-func (m *Machine) flushFB(tid vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.VC) {
+func (m *Machine) flushFB(tid vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.Stamp) {
 	for _, fbe := range m.fb[tid] {
 		m.listener.CLWBPersisted(fbe, tid, fenceSeq, fenceCV)
 	}
@@ -377,11 +490,9 @@ func (m *Machine) flushFB(tid vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.VC
 // commits the fence (Exec_MFENCE in the paper's Figure 7).
 func (m *Machine) MFence(tid vclock.TID) {
 	m.DrainSB(tid)
-	m.seq++
-	cv := m.threadCV(tid)
-	cv.Set(tid, m.seq)
-	m.flushFB(tid, m.seq, cv.Clone())
-	m.listener.FenceCommitted(tid, m.seq, cv.Clone())
+	st := m.commitStamp(tid)
+	m.flushFB(tid, m.seq, st)
+	m.listener.FenceCommitted(tid, m.seq, st)
 }
 
 // Load performs a load with store-buffer bypassing. acquire joins the
@@ -411,7 +522,7 @@ func (m *Machine) LoadDetail(tid vclock.TID, addr pmm.Addr, size int, acquire bo
 		return 0, nil, false
 	}
 	if acquire && rec.Release {
-		m.threadCV(tid).Join(rec.CV)
+		m.joinThread(tid, rec.CV)
 	}
 	return truncate(rec.Val, size), rec, false
 }
@@ -426,17 +537,16 @@ func (m *Machine) RMW(tid vclock.TID, addr pmm.Addr, size int, f func(old uint64
 	if rec := m.mem.At(addr); rec != nil {
 		old = truncate(rec.Val, size)
 		if rec.Release {
-			m.threadCV(tid).Join(rec.CV)
+			m.joinThread(tid, rec.CV)
 		}
 	}
 	newVal, write := f(old)
 	if write {
-		m.seq++
-		cv := m.threadCV(tid)
-		cv.Set(tid, m.seq)
-		rec := &CommittedStore{
+		st := m.commitStamp(tid)
+		rec := m.newRecord()
+		*rec = CommittedStore{
 			Addr: addr, Size: size, Val: truncate(newVal, size),
-			TID: tid, Seq: m.seq, CV: cv.Clone(),
+			TID: tid, Seq: m.seq, CV: st,
 			Atomic: true, Release: true,
 		}
 		m.mem.Set(addr, rec)

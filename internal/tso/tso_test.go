@@ -15,39 +15,39 @@ type recorder struct {
 		tid  vclock.TID
 		addr pmm.Addr
 		seq  vclock.Seq
-		cv   vclock.VC
+		cv   vclock.Stamp
 	}
 	clwbBuf []FBEntry
 	clwbPer []struct {
 		flush    FBEntry
 		fenceTID vclock.TID
 		fenceSeq vclock.Seq
-		fenceCV  vclock.VC
+		fenceCV  vclock.Stamp
 	}
 	fences []vclock.Seq
 }
 
 func (r *recorder) StoreCommitted(rec *CommittedStore) { r.stores = append(r.stores, rec) }
-func (r *recorder) CLFlushCommitted(tid vclock.TID, addr pmm.Addr, seq vclock.Seq, cv vclock.VC) {
+func (r *recorder) CLFlushCommitted(tid vclock.TID, addr pmm.Addr, seq vclock.Seq, cv vclock.Stamp) {
 	r.clflushes = append(r.clflushes, struct {
 		tid  vclock.TID
 		addr pmm.Addr
 		seq  vclock.Seq
-		cv   vclock.VC
+		cv   vclock.Stamp
 	}{tid, addr, seq, cv})
 }
-func (r *recorder) CLWBBuffered(tid vclock.TID, addr pmm.Addr, cv vclock.VC) {
+func (r *recorder) CLWBBuffered(tid vclock.TID, addr pmm.Addr, cv vclock.Stamp) {
 	r.clwbBuf = append(r.clwbBuf, FBEntry{Addr: addr, CV: cv, TID: tid})
 }
-func (r *recorder) CLWBPersisted(flush FBEntry, fenceTID vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.VC) {
+func (r *recorder) CLWBPersisted(flush FBEntry, fenceTID vclock.TID, fenceSeq vclock.Seq, fenceCV vclock.Stamp) {
 	r.clwbPer = append(r.clwbPer, struct {
 		flush    FBEntry
 		fenceTID vclock.TID
 		fenceSeq vclock.Seq
-		fenceCV  vclock.VC
+		fenceCV  vclock.Stamp
 	}{flush, fenceTID, fenceSeq, fenceCV})
 }
-func (r *recorder) FenceCommitted(tid vclock.TID, seq vclock.Seq, cv vclock.VC) {
+func (r *recorder) FenceCommitted(tid vclock.TID, seq vclock.Seq, cv vclock.Stamp) {
 	r.fences = append(r.fences, seq)
 }
 
@@ -122,8 +122,8 @@ func TestCLFlushCommitOrderAndClock(t *testing.T) {
 		t.Errorf("clflush seq = %d, want 2 (after the store)", cf.seq)
 	}
 	// The clflush clock must cover the earlier same-thread store.
-	if !cf.cv.Contains(0, r.stores[0].Seq) {
-		t.Errorf("clflush CV %v does not cover the store (seq %d)", cf.cv, r.stores[0].Seq)
+	if !m.ClockArena().Contains(cf.cv, 0, r.stores[0].Seq) {
+		t.Errorf("clflush CV %v does not cover the store (seq %d)", m.ClockArena().Materialize(cf.cv), r.stores[0].Seq)
 	}
 }
 
@@ -148,7 +148,7 @@ func TestCLWBNeedsFence(t *testing.T) {
 		t.Fatalf("FBLen = %d after sfence, want 0", m.FBLen(0))
 	}
 	p := r.clwbPer[0]
-	if !p.flush.CV.Contains(0, r.stores[0].Seq) {
+	if !m.ClockArena().Contains(p.flush.CV, 0, r.stores[0].Seq) {
 		t.Errorf("persisted clwb CV does not cover the store")
 	}
 	if p.fenceSeq <= r.stores[0].Seq {

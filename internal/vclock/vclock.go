@@ -72,12 +72,25 @@ func (v *VC) Set(t TID, s Seq) {
 	(*v)[t] = s
 }
 
-// Join merges other into v, component-wise maximum.
+// Join merges other into v, component-wise maximum. When other is longer
+// the merged clock is built in one pass — copy other, then fold v's old
+// components over it — instead of growing first and walking other twice.
 func (v *VC) Join(other VC) {
-	if len(other) > len(*v) {
-		v.grow(TID(len(other) - 1))
-	}
 	d := *v
+	if len(other) > len(d) {
+		if t := TID(len(other) - 1); t >= maxTID {
+			panic(fmt.Sprintf("vclock: thread id %d out of range [0, %d)", t, maxTID))
+		}
+		n := make(VC, len(other))
+		copy(n, other)
+		for t, s := range d {
+			if s > n[t] {
+				n[t] = s
+			}
+		}
+		*v = n
+		return
+	}
 	for t, s := range other {
 		if s > d[t] {
 			d[t] = s

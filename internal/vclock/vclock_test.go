@@ -170,3 +170,29 @@ func TestContainsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// BenchmarkVCJoin measures the single-pass join on the two shapes that
+// matter: growing (other is longer, one allocation) and in-place (other
+// fits, zero allocations).
+func BenchmarkVCJoin(b *testing.B) {
+	long := New()
+	for t := TID(0); t < 8; t++ {
+		long.Set(t, Seq(t+1))
+	}
+	short := New()
+	short.Set(1, 100)
+	b.Run("grow", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := VC{5}
+			v.Join(long)
+		}
+	})
+	b.Run("in-place", func(b *testing.B) {
+		b.ReportAllocs()
+		v := long.Clone()
+		for i := 0; i < b.N; i++ {
+			v.Join(short)
+		}
+	})
+}

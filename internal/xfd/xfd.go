@@ -128,7 +128,7 @@ func (d *Detector) StoreCommitted(rec *tso.CommittedStore) {
 
 // CLFlushCommitted implements tso.Listener: every store on the line is now
 // persisted.
-func (d *Detector) CLFlushCommitted(_ vclock.TID, addr pmm.Addr, _ vclock.Seq, _ vclock.VC) {
+func (d *Detector) CLFlushCommitted(_ vclock.TID, addr pmm.Addr, _ vclock.Seq, _ vclock.Stamp) {
 	for _, a := range d.lines[pmm.LineOf(addr)] {
 		s := d.stores[a]
 		s.state = statePersisted
@@ -138,7 +138,7 @@ func (d *Detector) CLFlushCommitted(_ vclock.TID, addr pmm.Addr, _ vclock.Seq, _
 
 // CLWBBuffered implements tso.Listener: stores on the line advance to
 // Writeback, pending the thread's next fence.
-func (d *Detector) CLWBBuffered(tid vclock.TID, addr pmm.Addr, _ vclock.VC) {
+func (d *Detector) CLWBBuffered(tid vclock.TID, addr pmm.Addr, _ vclock.Stamp) {
 	for _, a := range d.lines[pmm.LineOf(addr)] {
 		if s := d.stores[a]; s.state == stateModified {
 			s.state = stateWriteback
@@ -150,7 +150,7 @@ func (d *Detector) CLWBBuffered(tid vclock.TID, addr pmm.Addr, _ vclock.VC) {
 
 // CLWBPersisted implements tso.Listener: the fence completed the
 // write-back.
-func (d *Detector) CLWBPersisted(flush tso.FBEntry, fenceTID vclock.TID, _ vclock.Seq, _ vclock.VC) {
+func (d *Detector) CLWBPersisted(flush tso.FBEntry, fenceTID vclock.TID, _ vclock.Seq, _ vclock.Stamp) {
 	for _, a := range d.lines[pmm.LineOf(flush.Addr)] {
 		if s := d.stores[a]; s.state == stateWriteback {
 			s.state = statePersisted
@@ -161,7 +161,7 @@ func (d *Detector) CLWBPersisted(flush tso.FBEntry, fenceTID vclock.TID, _ vcloc
 
 // FenceCommitted implements tso.Listener: any remaining write-backs of the
 // fencing thread complete.
-func (d *Detector) FenceCommitted(tid vclock.TID, _ vclock.Seq, _ vclock.VC) {
+func (d *Detector) FenceCommitted(tid vclock.TID, _ vclock.Seq, _ vclock.Stamp) {
 	for _, a := range d.pendingWB[tid] {
 		if s, ok := d.stores[a]; ok && s.state == stateWriteback {
 			s.state = statePersisted
