@@ -33,7 +33,10 @@
 //   - modes running with clock interning (clock_intern in the artifact) must
 //     report epoch_hits > 0: the detector's O(1) epoch fast path going inert
 //     silently degrades every happens-before check to a vector walk
-//     (-require-epoch=false to waive).
+//     (-require-epoch=false to waive);
+//   - every mode of the baseline must still exist in the fresh artifact: a
+//     mode vanishing from the sweep is a coverage regression, not something
+//     to skip silently.
 package main
 
 import (
@@ -236,6 +239,22 @@ func run() error {
 			}
 		}
 	}
+	// The loop above only walks fresh modes, so it can never notice a mode
+	// that exists in the baseline but not in the fresh artifact — a
+	// benchmark configuration silently dropping out of the sweep is exactly
+	// the kind of coverage regression a canary must catch.
+	var baseNames []string
+	for name := range baseline.Modes {
+		baseNames = append(baseNames, name)
+	}
+	sort.Strings(baseNames)
+	for _, name := range baseNames {
+		if _, ok := fresh.Modes[name]; !ok {
+			failures = append(failures, fmt.Sprintf(
+				"mode %q: present in baseline but missing from fresh artifact (benchmark mode vanished)", name))
+		}
+	}
+
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "FAIL:", f)

@@ -88,11 +88,19 @@ func run() int {
 	}
 	defer stop()
 
+	// SIGINT/SIGTERM and -timeout cancel the suite at the next scenario
+	// boundary; the tables below then render the partial result.
+	ctx, cancelRun := shared.RunContext()
+	defer cancelRun()
+
 	// Tables 2a/2b are compiler-study renderings: their selection has a
 	// non-nil empty variant list, meaning no detector runs at all.
 	res := &suite.Result{}
 	if sel.variants == nil || len(sel.variants) > 0 {
-		res = suite.Run(cfg)
+		res = suite.RunContext(ctx, cfg)
+	}
+	if res.Cancelled {
+		fmt.Fprintln(os.Stderr, "yashme-tables: run interrupted — output below is partial")
 	}
 
 	if shared.JSON {
@@ -103,6 +111,9 @@ func run() int {
 		}
 		os.Stdout.Write(out)
 		fmt.Println()
+		if res.Cancelled {
+			return 3
+		}
 		return 0
 	}
 
@@ -176,6 +187,9 @@ func run() int {
 	if emit("benign") {
 		fmt.Println("=== §7.5: benign checksum-guarded races ===")
 		fmt.Print(tables.BenignText(tables.BenignRaces(res)))
+	}
+	if res.Cancelled {
+		return 3
 	}
 	return 0
 }

@@ -67,6 +67,11 @@ func run() int {
 	}
 	defer stop()
 
+	// SIGINT/SIGTERM and -timeout cancel the run at the next scenario
+	// boundary: partial results still print, the exit code says truncated.
+	ctx, cancelRun := shared.RunContext()
+	defer cancelRun()
+
 	specs := workload.All()
 	if *file != "" {
 		src, err := os.ReadFile(*file)
@@ -104,7 +109,10 @@ func run() int {
 			return 2
 		}
 		cfg.Variants = []string{suite.VariantRaces}
-		res := suite.Run(cfg)
+		res := suite.RunContext(ctx, cfg)
+		if res.Cancelled {
+			fmt.Fprintln(os.Stderr, "yashme: run interrupted — results below are partial")
+		}
 		if shared.JSON {
 			out, err := res.JSON()
 			if err != nil {
@@ -125,6 +133,9 @@ func run() int {
 				}
 			}
 			fmt.Printf("total: %d races\n", res.TotalRaces(suite.RunRaces))
+		}
+		if res.Cancelled {
+			return 3
 		}
 		if res.TotalRaces(suite.RunRaces) > 0 {
 			return 1
@@ -171,9 +182,12 @@ func run() int {
 	}
 
 	start := time.Now()
-	res := engine.Run(spec.Make, opts)
+	res := engine.RunContext(ctx, spec.Make, opts)
 	elapsed := time.Since(start)
 
+	if res.Cancelled {
+		fmt.Fprintln(os.Stderr, "yashme: run interrupted — results below are partial")
+	}
 	fmt.Printf("benchmark %s, mode %s, prefix=%v: %d executions, %d crash points, %s\n",
 		spec.Name, opts.Mode, *prefix, res.ExecutionsRun, res.CrashPoints, elapsed.Round(time.Microsecond))
 	fmt.Printf("ops: %d stores, %d loads, %d flushes, %d fences, %d RMWs\n",
@@ -205,6 +219,9 @@ func run() int {
 		for _, r := range res.Report.Benign() {
 			fmt.Printf("  %s\n", r)
 		}
+	}
+	if res.Cancelled {
+		return 3
 	}
 	if total > 0 {
 		return 1

@@ -5,12 +5,16 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
+	"time"
 
 	"yashme/internal/engine"
 	"yashme/internal/suite"
@@ -25,6 +29,7 @@ type Flags struct {
 	Keyframe    int
 	Dedup       bool
 	ClockIntern bool
+	Timeout    time.Duration
 	Shard      string
 	JSON       bool
 	Tags       string
@@ -43,6 +48,7 @@ func Register() *Flags {
 	flag.IntVar(&f.Keyframe, "keyframe", 0, "full-clone interval for delta checkpoints (0 = engine default, 1 = every snapshot a full clone; results identical)")
 	flag.BoolVar(&f.Dedup, "dedup", true, "model-check: reuse recovery verdicts of byte-identical crash images (results identical; =false re-simulates every point)")
 	flag.BoolVar(&f.ClockIntern, "clockintern", true, "share deduplicated clock snapshots through an interned arena with an epoch fast path (results identical; =false gives every record an owned clock copy)")
+	flag.DurationVar(&f.Timeout, "timeout", 0, "wall-clock bound for the whole run (0 = none); on expiry the run stops at the next scenario boundary, prints partial results and exits non-zero")
 	flag.StringVar(&f.Shard, "shard", "", "run shard i/n of the suite (deterministic by benchmark name; union of shards == full run)")
 	flag.BoolVar(&f.JSON, "json", false, "emit the unified suite result as JSON instead of rendered output")
 	flag.StringVar(&f.Tags, "tags", "", "comma-separated workload tags to select (e.g. table3,pmdk; empty = all)")
@@ -103,6 +109,24 @@ func (f *Flags) applyModes(ck *engine.CheckpointMode, dr *engine.DirectRunMode, 
 	}
 	if !f.ClockIntern {
 		*ci = engine.ClockInternOff
+	}
+}
+
+// RunContext returns the context a CLI run should execute under: cancelled
+// on SIGINT/SIGTERM and, when -timeout is set, on deadline expiry. The
+// engine honors it at scenario boundaries, so the run ends promptly with a
+// well-formed partial result instead of dying mid-write. The returned stop
+// must be deferred; it releases the signal registration (a second signal
+// after cancellation kills the process the default way).
+func (f *Flags) RunContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if f.Timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, f.Timeout)
+	return ctx, func() {
+		cancel()
+		stop()
 	}
 }
 

@@ -1,6 +1,9 @@
 package engine
 
-import "runtime"
+import (
+	"context"
+	"runtime"
+)
 
 // Budget is a counting semaphore bounding how many crash scenarios (and
 // planner probe runs) simulate concurrently across every engine Run that
@@ -44,6 +47,36 @@ func (b *Budget) Acquire() {
 	if b != nil {
 		b.tokens <- struct{}{}
 	}
+}
+
+// AcquireCtx blocks until a token is free or the context is done, and
+// reports whether a token was acquired. It keeps cancellation prompt even
+// when the budget is saturated by other runs: a cancelled run must not
+// wait for someone else's simulation to finish before it can give up its
+// place in line. A nil (unlimited) budget never blocks, so there the call
+// is purely the cancellation check.
+func (b *Budget) AcquireCtx(ctx context.Context) bool {
+	if b == nil {
+		return ctx.Err() == nil
+	}
+	if ctx.Err() != nil {
+		return false
+	}
+	select {
+	case b.tokens <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// InUse returns how many tokens are currently held (0 for a nil budget) —
+// the budget-utilization gauge the service's /metrics endpoint exposes.
+func (b *Budget) InUse() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.tokens)
 }
 
 // Release returns a token. No-op on a nil budget.

@@ -20,6 +20,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -421,6 +422,12 @@ type Result struct {
 	Stats Stats
 	// Window is the per-crash-point race histogram (ModelCheck only).
 	Window []PointStat
+	// Cancelled reports that the run's context was done before exploration
+	// completed: the Result is a well-formed partial result — every merged
+	// scenario ran to completion and reports/stats are internally
+	// consistent, but unexplored crash points were skipped, so races may be
+	// missing. Always false for Run (background context).
+	Cancelled bool
 }
 
 // newResult builds an empty Result shaped for the run's analysis selection
@@ -441,12 +448,29 @@ func newResult(opts Options) *Result {
 // concurrently. Exploration is layered — plan, execute, merge (see
 // explore.go) — and the Result is byte-identical for every worker count.
 func Run(makeProg func() pmm.Program, opts Options) *Result {
+	return RunContext(context.Background(), makeProg, opts)
+}
+
+// RunContext is Run under a cancellation context: the context is checked
+// at scenario and checkpoint-resume boundaries — before each probe run,
+// before each crash scenario is simulated or resumed, and between the
+// read-choice and recovery-crash expansions of a scenario group — so a
+// cancel or deadline stops the run within one scenario's worth of work.
+// A scenario that already started always runs to completion (partial
+// simulations would leave ill-formed detector state), and everything
+// merged before the cancellation is kept: the Result is a well-formed
+// partial result with Cancelled set. With a background context the
+// behavior — and the Result, byte for byte — is identical to Run.
+func RunContext(ctx context.Context, makeProg func() pmm.Program, opts Options) *Result {
 	opts = opts.withDefaults()
 	if opts.Mode != ModelCheck && opts.Mode != RandomMode {
 		panic(fmt.Sprintf("engine: unknown mode %d", opts.Mode))
 	}
 	res := newResult(opts)
-	runExplore(makeProg, opts, res)
+	runExplore(ctx, makeProg, opts, res)
+	if ctx.Err() != nil {
+		res.Cancelled = true
+	}
 	return res
 }
 

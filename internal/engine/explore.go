@@ -20,6 +20,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
@@ -98,6 +99,11 @@ type specResult struct {
 	// panicked carries a workload panic out of the worker so the merge
 	// layer can re-raise it deterministically on the caller's goroutine.
 	panicked any
+	// skipped marks a spec that never simulated because the run's context
+	// was done before its turn: the merge layer drops it (nothing to fold)
+	// and duplicates that named it as their representative are dropped
+	// with it.
+	skipped bool
 }
 
 // planSummary is what the plan layer learns from its probe runs.
@@ -133,20 +139,28 @@ type planSummary struct {
 // merging interleave on the caller's goroutine (probe, spec, probe, spec,
 // …), so no two program instances ever run concurrently — the contract
 // that lets programs with shared observation state opt out of parallelism.
-func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
+func runExplore(ctx context.Context, makeProg func() pmm.Program, opts Options, res *Result) {
 	workers := opts.Workers
 	if workers == 1 {
 		var done map[int]*specResult
-		sum := planSpecs(makeProg, opts, func(spec scenarioSpec) {
+		sum := planSpecs(ctx, makeProg, opts, func(spec scenarioSpec) {
 			if spec.dedupOf > 0 {
 				// Duplicate crash point: reuse the representative's verdict
 				// instead of simulating. The representative has a lower
-				// index, so it has already run and been retained.
-				res.mergeSpec(synthesizeDedup(done[spec.dedupOf-1], spec))
+				// index, so it has already run and been retained — unless
+				// cancellation skipped it, in which case the duplicate is
+				// skipped with it.
+				rep := done[spec.dedupOf-1]
+				if rep == nil {
+					return
+				}
+				res.mergeSpec(synthesizeDedup(rep, spec))
 				return
 			}
-			opts.Budget.Acquire()
-			r := runSpec(makeProg, opts, spec)
+			if !opts.Budget.AcquireCtx(ctx) {
+				return // cancelled before this scenario's turn
+			}
+			r := runSpec(ctx, makeProg, opts, spec)
 			opts.Budget.Release()
 			if r.panicked != nil {
 				panic(r.panicked)
@@ -183,7 +197,7 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 			close(specCh)
 			sumCh <- sum
 		}()
-		sum = planSpecs(makeProg, opts, func(spec scenarioSpec) { specCh <- spec })
+		sum = planSpecs(ctx, makeProg, opts, func(spec scenarioSpec) { specCh <- spec })
 	}()
 
 	// Execute layer: a bounded pool pulls specs and runs them in
@@ -205,9 +219,14 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 				}
 				// The token covers only the simulation, not the send:
 				// a blocked merge can never starve other Runs sharing
-				// the budget.
-				opts.Budget.Acquire()
-				r := runSpec(makeProg, opts, spec)
+				// the budget. A cancelled run stops acquiring — the
+				// remaining specs drain as skipped placeholders so the
+				// merge layer still sees every index.
+				if !opts.Budget.AcquireCtx(ctx) {
+					resCh <- &specResult{spec: spec, skipped: true}
+					continue
+				}
+				r := runSpec(ctx, makeProg, opts, spec)
 				opts.Budget.Release()
 				resCh <- r
 			}
@@ -236,8 +255,14 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 			next++
 			if rr.spec.dedupOf > 0 {
 				// The representative's index is lower, so it was folded —
-				// and retained — before this placeholder came up.
-				rr = synthesizeDedup(done[rr.spec.dedupOf-1], rr.spec)
+				// and retained — before this placeholder came up. A
+				// representative skipped by cancellation skips its
+				// duplicates too.
+				if rep := done[rr.spec.dedupOf-1]; rep == nil || rep.skipped {
+					rr = &specResult{spec: rr.spec, skipped: true}
+				} else {
+					rr = synthesizeDedup(rep, rr.spec)
+				}
 			}
 			if rr.spec.retain {
 				// Retained even when panicked, so a later duplicate finds
@@ -251,6 +276,9 @@ func runExplore(makeProg func() pmm.Program, opts Options, res *Result) {
 				if specPanicIdx < 0 {
 					specPanic, specPanicIdx = rr.panicked, rr.spec.idx
 				}
+				continue
+			}
+			if rr.skipped {
 				continue
 			}
 			res.mergeSpec(rr)
@@ -341,12 +369,14 @@ func (res *Result) mergeSpec(r *specResult) {
 
 // planSpecs dispatches to the mode's enumerator. emit is called once per spec,
 // in spec-index order; in the parallel path it feeds the pool's channel, in
-// the sequential path it runs the spec inline.
-func planSpecs(makeProg func() pmm.Program, opts Options, emit func(scenarioSpec)) planSummary {
+// the sequential path it runs the spec inline. Probe runs — the planner's own
+// simulations — check the context before starting: a cancelled plan stops
+// enumerating and returns the summary of the probes that did run.
+func planSpecs(ctx context.Context, makeProg func() pmm.Program, opts Options, emit func(scenarioSpec)) planSummary {
 	if opts.Mode == ModelCheck {
-		return planModelCheck(makeProg, opts, emit)
+		return planModelCheck(ctx, makeProg, opts, emit)
 	}
-	return planRandom(makeProg, opts, emit)
+	return planRandom(ctx, makeProg, opts, emit)
 }
 
 // planModelCheck enumerates the model-checking specs: per schedule, a probe
@@ -359,7 +389,7 @@ func planSpecs(makeProg func() pmm.Program, opts Options, emit func(scenarioSpec
 // and each emitted spec carries its point's snapshot. Snapshots are captured
 // before the crash's persist policy matters, so one probe (run under
 // PersistLatest, like always) serves every policy fan-out.
-func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenarioSpec)) planSummary {
+func planModelCheck(ctx context.Context, makeProg func() pmm.Program, opts Options, emit func(scenarioSpec)) planSummary {
 	var sum planSummary
 	idx := 0
 	for sched := 0; sched < opts.Schedules; sched++ {
@@ -371,7 +401,9 @@ func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenari
 			sink.configureProbe(opts, probe.det)
 			probe.capture = sink
 		}
-		opts.Budget.Acquire()
+		if !opts.Budget.AcquireCtx(ctx) {
+			return sum // cancelled before this schedule's probe
+		}
 		probe.run()
 		opts.Budget.Release()
 		sum.simulatedOps += probe.stats.SimulatedOps
@@ -454,7 +486,7 @@ func planModelCheck(makeProg func() pmm.Program, opts Options, emit func(scenari
 // i's probed point count — so the probes run here, on the plan goroutine,
 // while the pool executes earlier specs; the crash scenarios themselves
 // fan out across the workers.
-func planRandom(makeProg func() pmm.Program, opts Options, emit func(scenarioSpec)) planSummary {
+func planRandom(ctx context.Context, makeProg func() pmm.Program, opts Options, emit func(scenarioSpec)) planSummary {
 	var sum planSummary
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for i := 0; i < opts.Executions; i++ {
@@ -462,7 +494,9 @@ func planRandom(makeProg func() pmm.Program, opts Options, emit func(scenarioSpe
 		// Probe with this schedule to count its crash points, then emit
 		// the identical schedule crashing before a random one of them.
 		probe := newScenario(makeProg, opts, plan{}, PersistRandom, schedSeed)
-		opts.Budget.Acquire()
+		if !opts.Budget.AcquireCtx(ctx) {
+			return sum // cancelled before this execution's probe
+		}
 		probe.run()
 		opts.Budget.Release()
 		sum.simulatedOps += probe.stats.SimulatedOps
@@ -506,7 +540,13 @@ func planRandom(makeProg func() pmm.Program, opts Options, emit func(scenarioSpe
 // scenario in turn checkpoints its own recovery execution so the multi-crash
 // follow-ups resume from the recovery prefix — the same mechanism one level
 // down the execution stack.
-func runSpec(makeProg func() pmm.Program, opts Options, spec scenarioSpec) (out *specResult) {
+//
+// The context gates the expansions only: the primary scenario always runs
+// (the caller acquired its budget token with the context still live), but a
+// cancellation observed between it and a read-choice or recovery-crash
+// follow-up stops the group there, leaving the already-absorbed scenarios as
+// the spec's partial contribution.
+func runSpec(ctx context.Context, makeProg func() pmm.Program, opts Options, spec scenarioSpec) (out *specResult) {
 	out = &specResult{spec: spec, reports: make([]*report.Set, len(opts.Analyses))}
 	for i := range out.reports {
 		out.reports[i] = report.NewSet()
@@ -531,7 +571,7 @@ func runSpec(makeProg func() pmm.Program, opts Options, spec scenarioSpec) (out 
 	out.absorb(sc)
 
 	if spec.exploreReads {
-		runReadChoices(makeProg, opts, spec, sc.lineChoices, out)
+		runReadChoices(ctx, makeProg, opts, spec, sc.lineChoices, out)
 	}
 	if spec.expandRecovery {
 		m := sc.crashPoints[1]
@@ -539,6 +579,9 @@ func runSpec(makeProg func() pmm.Program, opts Options, spec scenarioSpec) (out 
 			m = opts.RecoveryCrashes
 		}
 		for rc := 1; rc <= m; rc++ {
+			if ctx.Err() != nil {
+				break // checkpoint-resume boundary: stop expanding
+			}
 			var rsnap *snapshot
 			if recSink != nil {
 				rsnap = recSink.snaps[rc]
@@ -554,7 +597,7 @@ func runSpec(makeProg func() pmm.Program, opts Options, spec scenarioSpec) (out 
 // pinning that line to that choice so the post-crash execution actually
 // observes every candidate value (Jaaru's constraint-based read
 // exploration, bounded by Options.ReadChoiceCap per crash point).
-func runReadChoices(makeProg func() pmm.Program, opts Options, spec scenarioSpec,
+func runReadChoices(ctx context.Context, makeProg func() pmm.Program, opts Options, spec scenarioSpec,
 	lineChoices map[pmm.Line]vclockSeqs, out *specResult) {
 
 	// Deterministic line order.
@@ -566,7 +609,7 @@ func runReadChoices(makeProg func() pmm.Program, opts Options, spec scenarioSpec
 	budget := opts.ReadChoiceCap
 	for _, line := range lines {
 		for _, choice := range lineChoices[line] {
-			if budget == 0 {
+			if budget == 0 || ctx.Err() != nil {
 				return
 			}
 			budget--

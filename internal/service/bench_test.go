@@ -1,0 +1,64 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"yashme/internal/engine"
+)
+
+// BenchmarkServiceThroughput measures end-to-end jobs/sec through the HTTP
+// path (POST ?wait=1 → terminal status): "cold" defeats the cache with a
+// distinct seed per job, so every iteration simulates; "cachehit" repeats
+// one request, so all but the first are answered from the cache. The ratio
+// is the cache's measured win, recorded as EXPERIMENTS.md E25.
+func BenchmarkServiceThroughput(b *testing.B) {
+	for _, bc := range []struct {
+		name        string
+		seedPerIter bool
+	}{
+		{"cold", true},
+		{"cachehit", false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			m := NewManager(Config{Jobs: 2, Budget: engine.NewBudget(0)})
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				m.Shutdown(ctx)
+			}()
+			srv := httptest.NewServer(NewHandler(m))
+			defer srv.Close()
+
+			submit := func(seed int) {
+				payload := fmt.Sprintf(`{"names":["svc-probe"],"variants":["races"],"seed":%d}`, seed)
+				resp, err := http.Post(srv.URL+"/v1/jobs?wait=1", "application/json", strings.NewReader(payload))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("POST: code %d", resp.StatusCode)
+				}
+			}
+			submit(1) // prime: the cachehit case hits from iteration one
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seed := 1
+				if bc.seedPerIter {
+					seed = i + 2 // never the primed seed
+				}
+				submit(seed)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}

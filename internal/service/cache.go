@@ -1,0 +1,109 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: canonical request
+// fingerprint → the exact response body a fresh run produced. Bodies are
+// stored and served verbatim, so a cache hit is byte-identical to the run
+// it memoizes — the same currency (Canonical JSON) the suite's determinism
+// tests trade in. Capacity is bounded by total body bytes with
+// least-recently-used eviction; a body larger than the whole cache is
+// simply not admitted.
+type resultCache struct {
+	mu       sync.Mutex
+	capBytes int64
+	bytes    int64
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(capBytes int64) *resultCache {
+	return &resultCache{
+		capBytes: capBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// get returns the stored body for a fingerprint and counts the lookup as
+// a hit or miss. The returned slice is the cache's own storage: callers
+// must not mutate it (the service only ever writes it to responses).
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores a body under a fingerprint, evicting from the cold end until
+// the byte bound holds. Re-putting an existing key refreshes its body (the
+// bodies are deterministic, so this is a no-op in practice).
+func (c *resultCache) put(key string, body []byte) {
+	if c == nil || int64(len(body)) > c.capBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += int64(len(body))
+	}
+	for c.bytes > c.capBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.body))
+	}
+}
+
+// CacheStats is the cache's health snapshot for /metrics.
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	CapBytes int64 `json:"cap_bytes"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Entries:  len(c.entries),
+		Bytes:    c.bytes,
+		CapBytes: c.capBytes,
+	}
+}

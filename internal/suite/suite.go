@@ -23,6 +23,7 @@
 package suite
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -93,6 +94,20 @@ type Config struct {
 	// (0 = GOMAXPROCS): every engine run draws from one engine.Budget of
 	// this size, so concurrent benchmarks never oversubscribe the machine.
 	Workers int
+	// Budget, when non-nil, is an externally owned worker budget the suite
+	// draws from instead of creating its own — the mechanism a layer above
+	// (the job service, internal/service) uses to share one machine-wide
+	// semaphore across several concurrent suite runs, so suite × job
+	// parallelism never oversubscribes GOMAXPROCS either. Workers is
+	// ignored when set; Summary.Workers echoes the budget's size.
+	Budget *engine.Budget
+	// Seed, when non-zero, replaces every run's scheduler/crash-point seed
+	// (the paper's per-variant seeds otherwise: 1 for the Table 4 sweeps,
+	// the spec's Table5Seed for Table 5). Model-checked runs are seed-
+	// insensitive by construction (one deterministic schedule), so this is
+	// the random-mode reproducibility knob — and part of a detection job's
+	// cache identity in internal/service.
+	Seed int64
 	// Checkpoint and DirectRun select the engine fast-path modes for every
 	// run (defaults on; results identical either way).
 	Checkpoint engine.CheckpointMode
@@ -131,6 +146,7 @@ type Summary struct {
 	Names      []string `json:"names,omitempty"`
 	Variants   []string `json:"variants"`
 	Analyses   []string `json:"analyses,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
 }
 
 // AnalysisResult is one analysis pass's deduplicated report within a run
@@ -165,6 +181,11 @@ type RunResult struct {
 	// ElapsedNs is the run's wall-clock time. It is the one
 	// non-deterministic field of a Result; Canonical zeroes it.
 	ElapsedNs int64 `json:"elapsed_ns"`
+	// Cancelled marks a run the context cut short: the reports and stats
+	// are a well-formed partial result (every merged scenario completed)
+	// but unexplored crash points were skipped. Never set on runs that
+	// completed, so the field is invisible in their JSON.
+	Cancelled bool `json:"cancelled,omitempty"`
 }
 
 // Analysis returns the run's per-pass result for a named pass, or nil —
@@ -214,6 +235,10 @@ func (b *Bench) Run(variant string) *RunResult {
 type Result struct {
 	Config     Summary `json:"config"`
 	Benchmarks []Bench `json:"benchmarks"`
+	// Cancelled marks a suite run its context cut short: some runs may be
+	// partial (their own Cancelled is set) or missing entirely. Absent
+	// from the JSON of completed runs.
+	Cancelled bool `json:"cancelled,omitempty"`
 }
 
 // Bench returns the named benchmark's results, or nil if it wasn't part
@@ -268,7 +293,7 @@ func (r *Result) TotalStats() engine.Stats {
 // sequential or concurrent, sharded (after Merge) or not — have
 // byte-identical Canonical JSON.
 func (r *Result) Canonical() *Result {
-	c := &Result{Config: r.Config, Benchmarks: make([]Bench, len(r.Benchmarks))}
+	c := &Result{Config: r.Config, Benchmarks: make([]Bench, len(r.Benchmarks)), Cancelled: r.Cancelled}
 	for i, b := range r.Benchmarks {
 		nb := b
 		nb.Runs = make([]RunResult, len(b.Runs))
@@ -442,9 +467,23 @@ func jobsFor(spec workload.Spec, groups []string) []job {
 // one shared worker budget, and the per-benchmark results are assembled
 // in paper order regardless of completion order.
 func Run(cfg Config) *Result {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context. Cancellation (or deadline expiry) is
+// honored at the engine's scenario boundaries: runs already simulating
+// finish their in-flight scenarios and merge what completed, jobs not yet
+// started are skipped, and the Result comes back promptly with Cancelled
+// set on itself and on every cut-short run. A partial Result is
+// well-formed — its Canonical JSON is a valid (if truncated) suite result
+// — but only complete runs are byte-comparable across invocations.
+func RunContext(ctx context.Context, cfg Config) *Result {
 	specs := cfg.selected()
 	groups := cfg.variants()
-	budget := engine.NewBudget(cfg.Workers)
+	budget := cfg.Budget
+	if budget == nil {
+		budget = engine.NewBudget(cfg.Workers)
+	}
 
 	res := &Result{
 		Config: Summary{
@@ -455,6 +494,7 @@ func Run(cfg Config) *Result {
 			Names:      cfg.Names,
 			Variants:   groups,
 			Analyses:   cfg.Analyses,
+			Seed:       cfg.Seed,
 		},
 		Benchmarks: make([]Bench, len(specs)),
 	}
@@ -464,7 +504,11 @@ func Run(cfg Config) *Result {
 
 	runBench := func(i int, spec workload.Spec) {
 		bench := Bench{Name: spec.Name, Order: spec.Order, ModelCheck: spec.ModelCheck, Tags: spec.Tags}
+		defer func() { res.Benchmarks[i] = bench }()
 		for _, j := range jobsFor(spec, groups) {
+			if ctx.Err() != nil {
+				return
+			}
 			opts := j.opts
 			opts.Workers = budget.Size()
 			opts.Checkpoint = cfg.Checkpoint
@@ -474,8 +518,11 @@ func Run(cfg Config) *Result {
 			opts.ClockIntern = cfg.ClockIntern
 			opts.Analyses = cfg.Analyses
 			opts.Budget = budget
+			if cfg.Seed != 0 {
+				opts.Seed = cfg.Seed
+			}
 			start := time.Now()
-			er := engine.Run(spec.Make, opts)
+			er := engine.RunContext(ctx, spec.Make, opts)
 			run := RunResult{
 				Variant:     j.variant,
 				Races:       er.Report.Races(),
@@ -486,6 +533,7 @@ func Run(cfg Config) *Result {
 				Stats:       er.Stats,
 				Window:      er.Window,
 				ElapsedNs:   time.Since(start).Nanoseconds(),
+				Cancelled:   er.Cancelled,
 			}
 			if len(er.Passes) > 1 {
 				run.Analyses = make([]AnalysisResult, len(er.Passes))
@@ -500,12 +548,14 @@ func Run(cfg Config) *Result {
 			}
 			bench.Runs = append(bench.Runs, run)
 		}
-		res.Benchmarks[i] = bench
 	}
 
 	if cfg.Sequential {
 		for i, spec := range specs {
 			runBench(i, spec)
+		}
+		if ctx.Err() != nil {
+			res.Cancelled = true
 		}
 		return res
 	}
@@ -528,6 +578,9 @@ func Run(cfg Config) *Result {
 		if p != nil {
 			panic(p)
 		}
+	}
+	if ctx.Err() != nil {
+		res.Cancelled = true
 	}
 	return res
 }
